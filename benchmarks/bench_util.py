@@ -1,0 +1,19 @@
+"""Result persistence for the benchmark harness.
+
+Every benchmark writes its paper-shaped table to ``benchmarks/results/``
+(and prints it), so a full ``pytest benchmarks/ --benchmark-only`` run
+leaves the regenerated evaluation on disk next to the code.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name + ".txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure and prints it.  The grid
+of (design, micro-workload) runs is shared between the figures that the
+paper derives from the same experiment (Figs 12/13, Table V).
+
+Scale with ``REPRO_SCALE`` (e.g. ``REPRO_SCALE=0.25 pytest benchmarks/``)
+to trade fidelity for time.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentScale, run_grid
+from repro.experiments import figures
+from repro.workloads.base import DatasetSize
+
+BENCH_SCALE = ExperimentScale()
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def micro_grid_small(scale):
+    """The Figure 12(a)/13/Table V 'small dataset' experiment."""
+    return run_grid(figures.DESIGN_NAMES, figures.MICRO, DatasetSize.SMALL, scale)
+
+
+@pytest.fixture(scope="session")
+def micro_grid_large(scale):
+    """The Figure 12(b)/Table V 'large dataset' experiment."""
+    return run_grid(figures.DESIGN_NAMES, figures.MICRO, DatasetSize.LARGE, scale)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+"""Figure 1's taxonomy, measured: undo vs redo vs undo+redo logging.
+
+Section II-A argues the ordering constraints of each scheme: undo logging
+pays a forced data write-back at commit; redo logging pays staging
+machinery to keep in-place data frozen; undo+redo (FWB) relaxes both but
+doubles log data; MorLog keeps the relaxed ordering while trimming the
+log.  This bench puts numbers on that story.
+"""
+
+from benchmarks.bench_util import emit
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.experiments.runner import run_design
+from repro.workloads.base import DatasetSize, WorkloadParams
+
+SCHEMES = ("Undo-CRADE", "Redo-CRADE", "FWB-CRADE", "MorLog-CRADE", "MorLog-DP")
+PARAMS = WorkloadParams(initial_items=512, key_space=1024)
+
+
+def test_ablation_logging_schemes(benchmark):
+    def experiment():
+        out = {}
+        for workload in ("echo", "hash"):
+            for scheme in SCHEMES:
+                out[(workload, scheme)] = run_design(
+                    scheme,
+                    workload,
+                    DatasetSize.SMALL,
+                    params=PARAMS,
+                    n_transactions=200,
+                    n_threads=4,
+                )
+        return out
+
+    results = run_once(benchmark, experiment)
+    rows = []
+    for workload in ("echo", "hash"):
+        base = results[(workload, "FWB-CRADE")]
+        for scheme in SCHEMES:
+            r = results[(workload, scheme)]
+            rows.append(
+                [
+                    workload,
+                    scheme,
+                    r.throughput_tx_per_s / base.throughput_tx_per_s,
+                    r.nvmm_writes / base.nvmm_writes,
+                    int(r.stats.get("forced_data_write_backs", 0)),
+                    int(r.stats.get("staged_write_backs", 0)),
+                ]
+            )
+    emit(
+        "ablation_logging_schemes",
+        format_table(
+            [
+                "workload",
+                "scheme",
+                "throughput",
+                "NVMM writes",
+                "forced WBs",
+                "staged WBs",
+            ],
+            rows,
+            "Ablation: logging-scheme taxonomy (normalized to FWB-CRADE)",
+        ),
+    )
+    for workload in ("echo", "hash"):
+        undo = results[(workload, "Undo-CRADE")]
+        fwb = results[(workload, "FWB-CRADE")]
+        # Figure 1(c)'s cost is visible: undo-only forces data write-backs
+        # at commit and ends up slower than undo+redo logging.
+        assert undo.stats.get("forced_data_write_backs", 0) > 0
+        assert undo.throughput_tx_per_s <= fwb.throughput_tx_per_s * 1.05

@@ -1,0 +1,19 @@
+"""Figure 3: distribution of write distance for writes in transactions.
+
+Paper shape: most workloads rewrite previously-written words heavily; on
+average 44.8 % of write distances exceed 31 and only a minority of writes
+are first writes.
+"""
+
+from benchmarks.bench_util import emit
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig03_write_distance(benchmark, scale):
+    data = run_once(benchmark, lambda: figures.fig3_write_distance(scale))
+    emit("fig03_write_distance", figures.fig3_table(data))
+    for dist in data.values():
+        assert abs(sum(dist.values()) - 1.0) < 1e-9
+    # The macro workloads must show substantial rewrite behaviour.
+    assert data["echo"]["First Write"] < 0.6

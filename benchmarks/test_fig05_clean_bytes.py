@@ -1,0 +1,16 @@
+"""Figure 5: percentage of clean bytes among transactionally updated data.
+
+Paper shape: 70.5 % of updated bytes are clean on average — the
+observation motivating DLDC.
+"""
+
+from benchmarks.bench_util import emit
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig05_clean_bytes(benchmark, scale):
+    data = run_once(benchmark, lambda: figures.fig5_clean_bytes(scale))
+    emit("fig05_clean_bytes", figures.fig5_table(data))
+    average = sum(data.values()) / len(data)
+    assert 40.0 < average < 95.0, "clean-byte ratio lost the paper's shape"

@@ -1,0 +1,51 @@
+"""Figure 12: micro-benchmark transaction throughput (small + large).
+
+Paper shape: MorLog-CRADE tracks FWB-CRADE closely (within a few percent,
+occasionally below); SLDE lifts MorLog well above the baseline; the Gmean
+ordering ends FWB-CRADE <= MorLog-SLDE <= ~MorLog-DP.
+"""
+
+from collections import OrderedDict
+
+from benchmarks.bench_util import emit
+from benchmarks.conftest import run_once
+from repro.common.stats import geometric_mean
+from repro.experiments import figures
+
+
+def _throughput(grid):
+    return figures._grid_metric(grid, lambda r: r.throughput_tx_per_s)
+
+
+def _gmean_ratio(values, design, baseline="FWB-CRADE"):
+    return geometric_mean(
+        [row[design] / row[baseline] for row in values.values()]
+    )
+
+
+def test_fig12a_small_dataset(benchmark, micro_grid_small):
+    values = run_once(benchmark, lambda: _throughput(micro_grid_small))
+    emit(
+        "fig12a_micro_throughput_small",
+        figures.normalized_table(
+            values, "Figure 12(a): micro throughput, small dataset (normalized)"
+        ),
+    )
+    assert _gmean_ratio(values, "MorLog-SLDE") > 1.0
+    # MorLog-CRADE stays within a few percent of FWB-CRADE on micros.
+    assert 0.9 < _gmean_ratio(values, "MorLog-CRADE") < 1.2
+
+
+def test_fig12b_large_dataset(benchmark, micro_grid_large):
+    values = run_once(benchmark, lambda: _throughput(micro_grid_large))
+    emit(
+        "fig12b_micro_throughput_large",
+        figures.normalized_table(
+            values, "Figure 12(b): micro throughput, large dataset (normalized)"
+        ),
+    )
+    assert _gmean_ratio(values, "MorLog-SLDE") > 1.0
+    # SPS with the large dataset is where SLDE shines the most (paper:
+    # 8.8x there) because the swapped entries share templates.
+    row = values["sps"]
+    assert row["MorLog-SLDE"] / row["FWB-CRADE"] > row["MorLog-CRADE"] / row["FWB-CRADE"]

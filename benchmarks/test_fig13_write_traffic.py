@@ -1,0 +1,32 @@
+"""Figure 13: NVMM write traffic, small dataset, normalized to FWB-CRADE.
+
+Paper shape: MorLog-CRADE trims up to ~25 % on rewrite-heavy workloads,
+MorLog-SLDE up to ~39 %, MorLog-DP a further ~12 % on top; the Gmean for
+the full MorLog design lands well below 1.0.
+"""
+
+from benchmarks.bench_util import emit
+from benchmarks.conftest import run_once
+from repro.common.stats import geometric_mean
+from repro.experiments import figures
+
+
+def test_fig13_write_traffic(benchmark, micro_grid_small):
+    values = run_once(
+        benchmark,
+        lambda: figures._grid_metric(
+            micro_grid_small, lambda r: float(r.nvmm_writes)
+        ),
+    )
+    emit(
+        "fig13_write_traffic",
+        figures.normalized_table(
+            values, "Figure 13: NVMM write traffic, small dataset (normalized)"
+        ),
+    )
+    gmean = geometric_mean(
+        [row["MorLog-DP"] / row["FWB-CRADE"] for row in values.values()]
+    )
+    assert gmean < 1.0, "MorLog-DP must reduce NVMM write traffic"
+    for row in values.values():
+        assert row["MorLog-SLDE"] <= row["MorLog-CRADE"] * 1.05

@@ -1,0 +1,25 @@
+"""Figure 14: macro-benchmark throughput, normalized to FWB-CRADE.
+
+Paper shape: morphable logging pays off more on the macro-benchmarks
+(better temporal locality): MorLog-CRADE beats FWB-CRADE, SLDE adds more,
+MorLog-DP ends highest on average.
+"""
+
+from benchmarks.bench_util import emit
+from benchmarks.conftest import run_once
+from repro.common.stats import geometric_mean
+from repro.experiments import figures
+
+
+def test_fig14_macro_throughput(benchmark, scale):
+    values = run_once(benchmark, lambda: figures.fig14_macro_throughput(scale))
+    emit(
+        "fig14_macro_throughput",
+        figures.normalized_table(
+            values, "Figure 14: macro throughput (normalized to FWB-CRADE)"
+        ),
+    )
+    dp_gmean = geometric_mean(
+        [row["MorLog-DP"] / row["FWB-CRADE"] for row in values.values()]
+    )
+    assert dp_gmean > 1.0, "MorLog-DP must beat the baseline on macros"

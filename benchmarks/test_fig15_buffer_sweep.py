@@ -1,0 +1,45 @@
+"""Figure 15: throughput and write traffic vs the two log buffer sizes.
+
+Paper shape (echo): growing the undo+redo buffer monotonically reduces
+NVMM writes; throughput improves then flattens/drops as commit latency
+grows; the paper settles on 16 undo+redo / 32 redo entries.
+"""
+
+from benchmarks.bench_util import emit
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.experiments import figures
+
+UR_SIZES = (1, 4, 16, 64)
+REDO_SIZES = (2, 32, 128)
+
+
+def test_fig15_buffer_sweep(benchmark, scale):
+    data = run_once(
+        benchmark,
+        lambda: figures.fig15_buffer_sweep(UR_SIZES, REDO_SIZES, scale),
+    )
+    base = data[(UR_SIZES[0], REDO_SIZES[0])]
+    rows = []
+    for redo in REDO_SIZES:
+        for ur in UR_SIZES:
+            throughput, writes = data[(ur, redo)]
+            rows.append(
+                [
+                    "Redo%03d/UR%03d" % (redo, ur),
+                    throughput / base[0],
+                    writes / base[1],
+                ]
+            )
+    emit(
+        "fig15_buffer_sweep",
+        format_table(
+            ["config", "norm throughput", "norm NVMM writes"],
+            rows,
+            "Figure 15: buffer-size sensitivity (echo, MorLog-SLDE)",
+        ),
+    )
+    # Writes must not increase as the undo+redo buffer grows.
+    for redo in REDO_SIZES:
+        writes = [data[(ur, redo)][1] for ur in UR_SIZES]
+        assert writes[-1] <= writes[0]

@@ -1,0 +1,28 @@
+"""Figure 16: normalized throughput vs thread count (1-16, as the paper).
+"""
+
+from benchmarks.bench_util import emit
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.experiments import figures
+
+THREADS = (1, 2, 4, 8, 16)
+
+
+def test_fig16_thread_scaling(benchmark, scale):
+    data = run_once(
+        benchmark,
+        lambda: figures.fig16_thread_scaling(THREADS, scale=scale),
+    )
+    designs = list(next(iter(data.values())).keys())
+    rows = [[n] + [data[n][d] for d in designs] for n in THREADS]
+    emit(
+        "fig16_thread_scaling",
+        format_table(
+            ["threads"] + designs,
+            rows,
+            "Figure 16: normalized throughput vs thread count (micro Gmean)",
+        ),
+    )
+    for n in THREADS:
+        assert data[n]["MorLog-SLDE"] >= 0.95  # never collapses below base

@@ -1,0 +1,30 @@
+"""The abstract's three headline numbers, measured.
+
+Paper: MorLog (with all optimizations) vs the state-of-the-art FWB-CRADE:
++72.5 % throughput, -41.1 % NVMM write traffic, -49.9 % write energy.
+"""
+
+from benchmarks.bench_util import emit
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.experiments.headline import PAPER_HEADLINE, headline_comparison
+
+
+def test_headline_claims(benchmark, scale):
+    result = run_once(benchmark, lambda: headline_comparison(scale))
+    rows = [
+        [name, PAPER_HEADLINE[name], value]
+        for name, value in result.as_dict().items()
+    ]
+    emit(
+        "headline_claims",
+        format_table(
+            ["claim (MorLog-DP vs FWB-CRADE)", "paper (%)", "measured (%)"],
+            rows,
+            "Abstract headline claims, geometric mean over %d cells" % result.cells,
+            float_format="%.1f",
+        ),
+    )
+    assert result.shape_holds(), (
+        "a headline effect flipped sign: %s" % result.as_dict()
+    )

@@ -1,0 +1,30 @@
+"""Section VI-E: sensitivity to NVMM write latency (1x - 32x).
+
+Paper shape: the normalized gaps move by <2 % as the write latency scales
+up, i.e. MorLog's advantage is not an artifact of one latency point.
+"""
+
+from benchmarks.bench_util import emit
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.experiments import figures
+
+SCALES = (1.0, 4.0, 16.0, 32.0)
+
+
+def test_sens_nvm_latency(benchmark, scale):
+    data = run_once(
+        benchmark, lambda: figures.sens_nvm_latency(SCALES, scale=scale)
+    )
+    designs = list(next(iter(data.values())).keys())
+    rows = [[x] + [data[x][d] for d in designs] for x in SCALES]
+    emit(
+        "sens_nvm_latency",
+        format_table(
+            ["latency scale"] + designs,
+            rows,
+            "Section VI-E: normalized throughput vs NVMM write latency",
+        ),
+    )
+    ratios = [data[x]["MorLog-SLDE"] for x in SCALES]
+    assert all(r > 0.9 for r in ratios)

@@ -1,0 +1,16 @@
+"""Table II: fraction of dirty log data each DLDC pattern compresses.
+
+Paper shape: cumulatively ~42.5 % of dirty log data match one of the
+eight patterns.
+"""
+
+from benchmarks.bench_util import emit
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_table2_dldc_patterns(benchmark, scale):
+    data = run_once(benchmark, lambda: figures.table2_patterns(scale))
+    emit("table2_dldc_patterns", figures.table2_table(data))
+    compressible = sum(v for k, v in data.items() if k != "uncompressed")
+    assert 0.1 < compressible <= 1.0

@@ -1,0 +1,33 @@
+"""Table V: NVMM write-energy reduction vs FWB-CRADE (both dataset sizes).
+
+Paper values: MorLog-DP saves 45.9 % (small) / 36.0 % (large); SLDE
+contributes the bulk, MorLog-CRADE alone only a few percent.
+"""
+
+from benchmarks.bench_util import emit
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.experiments import figures
+
+
+def test_table5_write_energy(benchmark, micro_grid_small, micro_grid_large, scale):
+    grids = {"Small": micro_grid_small, "Large": micro_grid_large}
+    data = run_once(
+        benchmark, lambda: figures.table5_write_energy(scale, grids=grids)
+    )
+    rows = [
+        [label] + [data[label][d] for d in figures.DESIGN_NAMES]
+        for label in ("Small", "Large")
+    ]
+    emit(
+        "table5_write_energy",
+        format_table(
+            ["dataset"] + list(figures.DESIGN_NAMES),
+            rows,
+            "Table V: NVMM write-energy reduction vs FWB-CRADE (%)",
+            float_format="%.1f",
+        ),
+    )
+    for label in ("Small", "Large"):
+        assert data[label]["MorLog-SLDE"] > data[label]["MorLog-CRADE"]
+        assert data[label]["MorLog-DP"] > 0.0

@@ -1,0 +1,30 @@
+"""Table VI: log-bit reduction with expansion coding disabled.
+
+Paper values: MorLog-DP writes 59.5 % (small) / 45.8 % (large) fewer log
+bits than FWB-CRADE; even FWB-SLDE saves ~40 %/34 % from DLDC alone.
+"""
+
+from benchmarks.bench_util import emit
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.experiments import figures
+
+
+def test_table6_log_bits(benchmark, scale):
+    data = run_once(benchmark, lambda: figures.table6_log_bits(scale))
+    rows = [
+        [label] + [data[label][d] for d in figures.DESIGN_NAMES]
+        for label in ("Small", "Large")
+    ]
+    emit(
+        "table6_log_bits",
+        format_table(
+            ["dataset"] + list(figures.DESIGN_NAMES),
+            rows,
+            "Table VI: log-bit reduction vs FWB-CRADE, expansion disabled (%)",
+            float_format="%.1f",
+        ),
+    )
+    for label in ("Small", "Large"):
+        assert data[label]["FWB-SLDE"] > 0.0
+        assert data[label]["MorLog-SLDE"] >= data[label]["MorLog-CRADE"]

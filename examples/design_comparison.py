@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Compare the six evaluated designs on one workload.
+
+Reproduces a single column of the paper's evaluation interactively:
+throughput, NVMM write traffic, write energy and log volume for each of
+FWB-CRADE / FWB-Unsafe / FWB-SLDE / MorLog-CRADE / MorLog-SLDE /
+MorLog-DP on a workload of your choice.
+
+Run with:  python examples/design_comparison.py [workload] [n_tx]
+           (workload defaults to "echo"; see repro.workloads for names)
+"""
+
+import sys
+
+from repro.analysis.report import format_table
+from repro.core.designs import DESIGN_NAMES, make_system
+from repro.experiments.runner import default_config
+from repro.workloads import make_workload
+from repro.workloads.base import WorkloadParams
+
+
+def main() -> None:
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "echo"
+    n_tx = int(sys.argv[2]) if len(sys.argv) > 2 else 150
+    params = WorkloadParams(initial_items=256, key_space=1024)
+
+    rows = []
+    baseline = None
+    for design in DESIGN_NAMES:
+        system = make_system(design, default_config())
+        workload = make_workload(workload_name, params)
+        result = system.run(workload, n_tx, n_threads=4)
+        if baseline is None:
+            baseline = result
+        rows.append(
+            [
+                design,
+                result.throughput_tx_per_s / baseline.throughput_tx_per_s,
+                result.nvmm_writes / baseline.nvmm_writes,
+                result.nvmm_write_energy_pj / baseline.nvmm_write_energy_pj,
+                int(result.stats.get("entries_appended", 0)),
+                int(result.stats.get("silent_stores", 0)
+                    + result.stats.get("silent_drops", 0)),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "design",
+                "throughput",
+                "NVMM writes",
+                "write energy",
+                "log entries",
+                "silent drops",
+            ],
+            rows,
+            title="%s, %d transactions (normalized to FWB-CRADE)"
+            % (workload_name, n_tx),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setup shim.
+
+Kept so `python setup.py develop` works in offline environments without the
+`wheel` package; all real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

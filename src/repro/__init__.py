@@ -1,0 +1,28 @@
+"""MorLog reproduction: morphable hardware logging for atomic persistence.
+
+Public API surface:
+
+- :func:`repro.core.make_system` / :data:`repro.core.DESIGN_NAMES` — build
+  one of the paper's six evaluated designs.
+- :class:`repro.core.System` — the simulated machine (transactions, crash
+  injection, recovery).
+- :class:`repro.common.config.SystemConfig` — the Table III configuration.
+- :mod:`repro.workloads` — the Table IV benchmark workloads.
+- :mod:`repro.experiments` — regenerate every paper table and figure.
+- :mod:`repro.encoding` — the SLDE/DLDC/CRADE/FPC codec stack, usable
+  standalone.
+"""
+
+from repro.common.config import SystemConfig
+from repro.core import DESIGN_NAMES, System, TxContext, make_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "DESIGN_NAMES",
+    "System",
+    "TxContext",
+    "make_system",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Figure 5: percentage of clean bytes among transactionally updated data."""
+
+from typing import Optional
+
+from repro.analysis.trace import TraceCollector
+from repro.common.config import SystemConfig
+from repro.core.designs import make_system
+from repro.workloads.base import WorkloadParams, make_workload
+
+
+def clean_byte_percentage(
+    workload_name: str,
+    n_transactions: int = 300,
+    n_threads: int = 4,
+    params: Optional[WorkloadParams] = None,
+    config: Optional[SystemConfig] = None,
+) -> float:
+    """Percentage (0-100) of clean bytes among transactional updates."""
+    system = make_system("FWB-CRADE", config)
+    collector = TraceCollector(track_patterns=False)
+    system.trace = collector
+    workload = make_workload(workload_name, params)
+    system.run(workload, n_transactions, n_threads)
+    return 100.0 * collector.clean_byte_fraction

@@ -1,0 +1,39 @@
+"""Table II: which DLDC patterns the dirty log data compress to."""
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.analysis.trace import TraceCollector
+from repro.common.config import SystemConfig
+from repro.core.designs import make_system
+from repro.workloads.base import WorkloadParams, make_workload
+
+
+def dldc_pattern_census(
+    workload_names,
+    n_transactions: int = 200,
+    n_threads: int = 4,
+    params: Optional[WorkloadParams] = None,
+    config: Optional[SystemConfig] = None,
+) -> "OrderedDict[str, float]":
+    """Average per-pattern fractions of dirty log data over workloads.
+
+    Mirrors Table II's last column ("percentage of dirty log data that can
+    be compressed with the given pattern", averaged over applications).
+    """
+    totals: "OrderedDict[str, float]" = OrderedDict()
+    n_workloads = 0
+    for name in workload_names:
+        system = make_system("FWB-CRADE", config)
+        collector = TraceCollector(track_patterns=True)
+        system.trace = collector
+        system.run(make_workload(name, params), n_transactions, n_threads)
+        fractions = collector.pattern_fractions()
+        for pattern, fraction in fractions.items():
+            totals[pattern] = totals.get(pattern, 0.0) + fraction
+        n_workloads += 1
+    if n_workloads == 0:
+        raise ValueError("no workloads given")
+    return OrderedDict(
+        (pattern, value / n_workloads) for pattern, value in totals.items()
+    )

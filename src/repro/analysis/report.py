@@ -1,0 +1,79 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from typing import List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+    float_format: str = "%.3f",
+) -> str:
+    """Render rows as a fixed-width text table (harness output)."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                float_format % cell if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bars(
+    values: Mapping[str, float],
+    title: Optional[str] = None,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render a mapping as a horizontal ASCII bar chart.
+
+    Used by the CLI and examples so figure shapes are eyeballable in a
+    terminal without plotting dependencies.
+    """
+    if not values:
+        raise ValueError("nothing to chart")
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(k) for k in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for key, value in values.items():
+        bar = "#" * max(int(round(width * value / peak)), 0)
+        lines.append(
+            "%s  %s %.3f%s" % (key.ljust(label_width), bar.ljust(width), value, unit)
+        )
+    return "\n".join(lines)
+
+
+def format_normalized(
+    metric_by_design: Mapping[str, Mapping[str, float]],
+    baseline: str,
+    title: Optional[str] = None,
+) -> str:
+    """Render {workload: {design: value}} normalized to one design."""
+    designs = sorted({d for values in metric_by_design.values() for d in values})
+    if baseline not in designs:
+        raise ValueError("baseline %r missing from results" % baseline)
+    headers = ["workload"] + designs
+    rows = []
+    for workload, values in metric_by_design.items():
+        base = values[baseline]
+        rows.append(
+            [workload] + [values.get(d, float("nan")) / base for d in designs]
+        )
+    return format_table(headers, rows, title)

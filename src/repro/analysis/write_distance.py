@@ -1,0 +1,29 @@
+"""Figure 3: distribution of write distance for writes in transactions."""
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.analysis.trace import TraceCollector
+from repro.common.config import SystemConfig
+from repro.core.designs import make_system
+from repro.workloads.base import WorkloadParams, make_workload
+
+
+def write_distance_distribution(
+    workload_name: str,
+    n_transactions: int = 300,
+    n_threads: int = 4,
+    params: Optional[WorkloadParams] = None,
+    config: Optional[SystemConfig] = None,
+) -> "OrderedDict[str, float]":
+    """Run a workload under a trace tap and return the Figure 3 columns.
+
+    The measurement is design-independent (it taps the raw store stream),
+    so any design works; we use the baseline.
+    """
+    system = make_system("FWB-CRADE", config)
+    collector = TraceCollector(track_patterns=False)
+    system.trace = collector
+    workload = make_workload(workload_name, params)
+    system.run(workload, n_transactions, n_threads)
+    return collector.distance_distribution()

@@ -1,0 +1,23 @@
+"""Cache hierarchy with MorLog's L1 extensions.
+
+- :mod:`repro.cache.cacheline` — cache lines carrying the paper's L1
+  extensions: per-word 2-bit log state (Figure 8), per-word dirty flag
+  (section IV-A), TID/TxID, and the force-write-back flag bit.
+- :mod:`repro.cache.cache` — a set-associative write-back cache with LRU
+  replacement.
+- :mod:`repro.cache.hierarchy` — private L1/L2 per core, shared L3, a
+  minimal invalidation directory, and the force-write-back scanner
+  (section III-F).
+"""
+
+from repro.cache.cacheline import CacheLine, LogState
+from repro.cache.cache import SetAssocCache
+from repro.cache.hierarchy import CacheHierarchy, CacheListener
+
+__all__ = [
+    "CacheLine",
+    "LogState",
+    "SetAssocCache",
+    "CacheHierarchy",
+    "CacheListener",
+]

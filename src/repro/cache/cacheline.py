@@ -1,0 +1,89 @@
+"""Cache lines and the per-word log state machine (paper Figure 8).
+
+Each L1 line is extended with an 8-bit TID, a 16-bit TxID, a 16-bit log
+state flag (2 bits per 64-bit word) and — for SLDE — an 8-bit dirty flag
+per word (one bit per byte).  The states:
+
+- ``CLEAN``: the word has not been updated by a transaction.
+- ``DIRTY``: updated by an in-flight transaction; its undo+redo entry is
+  still in the undo+redo buffer.
+- ``URLOG``: the undo+redo entry has been persisted.
+- ``ULOG``: the oldest undo data are persisted but the newest redo data are
+  buffered *in place* in this line and not yet logged.
+"""
+
+import enum
+from typing import List, Optional
+
+from repro.common.bitops import WORDS_PER_LINE, mask_word
+
+
+class LogState(enum.Enum):
+    CLEAN = 0
+    DIRTY = 1
+    URLOG = 2
+    ULOG = 3
+
+
+class CacheLine:
+    """One 64-byte line; logical words plus MorLog L1 extensions."""
+
+    __slots__ = (
+        "base_addr",
+        "words",
+        "dirty",
+        "tid",
+        "txid",
+        "word_states",
+        "word_dirty_flags",
+        "fwb_flag",
+    )
+
+    def __init__(self, base_addr: int, words: Optional[List[int]] = None) -> None:
+        self.base_addr = base_addr
+        self.words: List[int] = list(words) if words is not None else [0] * WORDS_PER_LINE
+        if len(self.words) != WORDS_PER_LINE:
+            raise ValueError("a line holds exactly 8 words")
+        self.dirty = False
+        self.tid: Optional[int] = None
+        self.txid: Optional[int] = None
+        self.word_states: List[LogState] = [LogState.CLEAN] * WORDS_PER_LINE
+        # Accumulated per-byte dirtiness of each word relative to the value
+        # the last log entry captured (section IV-A).
+        self.word_dirty_flags: List[int] = [0] * WORDS_PER_LINE
+        # Force-write-back scan flag (section III-F, first log-management
+        # option).
+        self.fwb_flag = False
+
+    def word(self, index: int) -> int:
+        return self.words[index]
+
+    def set_word(self, index: int, value: int) -> None:
+        self.words[index] = mask_word(value)
+        self.dirty = True
+
+    def state(self, index: int) -> LogState:
+        return self.word_states[index]
+
+    def set_state(self, index: int, state: LogState) -> None:
+        self.word_states[index] = state
+
+    def clear_log_state(self) -> None:
+        """Reset all logging extensions (on fill or after commit cleanup)."""
+        self.tid = None
+        self.txid = None
+        self.word_states = [LogState.CLEAN] * WORDS_PER_LINE
+        self.word_dirty_flags = [0] * WORDS_PER_LINE
+
+    def words_in_state(self, state: LogState) -> List[int]:
+        return [i for i, s in enumerate(self.word_states) if s is state]
+
+    def has_log_state(self) -> bool:
+        return any(s is not LogState.CLEAN for s in self.word_states)
+
+    def __repr__(self) -> str:
+        return "CacheLine(%#x, dirty=%s, tx=%s)" % (
+            self.base_addr,
+            self.dirty,
+            self.txid,
+        )

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``designs`` — list the six evaluated designs.
+- ``run`` — run one (design, workload) cell and print its metrics.
+- ``compare`` — run all designs on one workload, normalized table.
+- ``figure`` — regenerate one paper table/figure by name.
+- ``overhead`` — print Table I for the current configuration.
+"""
+
+import argparse
+import sys
+
+from repro.analysis.report import format_table
+from repro.core.designs import ABLATION_DESIGN_NAMES, DESIGN_NAMES, make_system
+
+ALL_DESIGNS = DESIGN_NAMES + ABLATION_DESIGN_NAMES
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentScale, default_config, run_design
+from repro.workloads.base import DatasetSize, MACRO_WORKLOADS, MICRO_WORKLOADS, WorkloadParams, make_workload
+
+FIGURES = {
+    "fig3": lambda scale: figures.fig3_table(figures.fig3_write_distance(scale)),
+    "fig5": lambda scale: figures.fig5_table(figures.fig5_clean_bytes(scale)),
+    "table1": lambda scale: format_table(
+        ["component", "value"],
+        [[k, v] for k, v in figures.table1_overheads().items()],
+        "Table I + SLDE overheads",
+    ),
+    "table2": lambda scale: figures.table2_table(figures.table2_patterns(scale)),
+    "fig12a": lambda scale: figures.normalized_table(
+        figures.fig12_micro_throughput(DatasetSize.SMALL, scale)[1],
+        "Figure 12(a): micro throughput, small dataset",
+    ),
+    "fig12b": lambda scale: figures.normalized_table(
+        figures.fig12_micro_throughput(DatasetSize.LARGE, scale)[1],
+        "Figure 12(b): micro throughput, large dataset",
+    ),
+    "fig13": lambda scale: figures.normalized_table(
+        figures.fig13_write_traffic(DatasetSize.SMALL, scale)[1],
+        "Figure 13: NVMM write traffic, small dataset",
+    ),
+    "fig14": lambda scale: figures.normalized_table(
+        figures.fig14_macro_throughput(scale),
+        "Figure 14: macro throughput",
+    ),
+}
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MorLog (ISCA 2020) reproduction harness"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("designs", help="list the evaluated designs")
+
+    run_p = sub.add_parser("run", help="run one design on one workload")
+    run_p.add_argument("--design", default="MorLog-SLDE", choices=ALL_DESIGNS)
+    run_p.add_argument(
+        "--workload",
+        default="echo",
+        choices=MICRO_WORKLOADS + MACRO_WORKLOADS,
+    )
+    run_p.add_argument("--transactions", type=int, default=200)
+    run_p.add_argument("--threads", type=int, default=4)
+    run_p.add_argument("--large", action="store_true", help="4 KB dataset items")
+
+    cmp_p = sub.add_parser("compare", help="all designs on one workload")
+    cmp_p.add_argument(
+        "--workload",
+        default="echo",
+        choices=MICRO_WORKLOADS + MACRO_WORKLOADS,
+    )
+    cmp_p.add_argument("--transactions", type=int, default=200)
+    cmp_p.add_argument("--threads", type=int, default=4)
+
+    fig_p = sub.add_parser("figure", help="regenerate one paper table/figure")
+    fig_p.add_argument("name", choices=sorted(FIGURES))
+    fig_p.add_argument(
+        "--fast", action="store_true", help="quarter-scale transaction counts"
+    )
+
+    sub.add_parser("overhead", help="print Table I")
+
+    rec_p = sub.add_parser("record", help="capture a workload's trace")
+    rec_p.add_argument("out", help="output trace file (JSON lines)")
+    rec_p.add_argument(
+        "--workload",
+        default="queue",
+        choices=MICRO_WORKLOADS + MACRO_WORKLOADS,
+    )
+    rec_p.add_argument("--transactions", type=int, default=100)
+    rec_p.add_argument("--threads", type=int, default=2)
+
+    rep_p = sub.add_parser("replay", help="replay a captured trace")
+    rep_p.add_argument("trace", help="trace file to replay")
+    rep_p.add_argument("--design", default="MorLog-SLDE", choices=ALL_DESIGNS)
+    rep_p.add_argument("--threads", type=int, default=2)
+    return parser
+
+
+def _cmd_run(args) -> None:
+    dataset = DatasetSize.LARGE if args.large else DatasetSize.SMALL
+    result = run_design(
+        args.design,
+        args.workload,
+        dataset,
+        n_threads=args.threads,
+        n_transactions=args.transactions,
+    )
+    rows = [
+        ["transactions", result.transactions],
+        ["elapsed (simulated us)", result.elapsed_ns / 1000.0],
+        ["throughput (tx/s)", result.throughput_tx_per_s],
+        ["NVMM writes", result.nvmm_writes],
+        ["NVMM write energy (nJ)", result.nvmm_write_energy_pj / 1000.0],
+        ["log bits", result.log_bits],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       "%s on %s" % (args.design, args.workload)))
+
+
+def _cmd_compare(args) -> None:
+    rows = []
+    baseline = None
+    for design in DESIGN_NAMES:
+        result = run_design(
+            design,
+            args.workload,
+            DatasetSize.SMALL,
+            n_threads=args.threads,
+            n_transactions=args.transactions,
+        )
+        if baseline is None:
+            baseline = result
+        rows.append(
+            [
+                design,
+                result.throughput_tx_per_s / baseline.throughput_tx_per_s,
+                result.nvmm_writes / baseline.nvmm_writes,
+                result.nvmm_write_energy_pj / baseline.nvmm_write_energy_pj,
+            ]
+        )
+    print(
+        format_table(
+            ["design", "throughput", "NVMM writes", "write energy"],
+            rows,
+            "%s (normalized to FWB-CRADE)" % args.workload,
+        )
+    )
+
+
+def main(argv=None) -> int:
+    args = _parser().parse_args(argv)
+    if args.command == "designs":
+        for name in DESIGN_NAMES:
+            print(name)
+    elif args.command == "run":
+        _cmd_run(args)
+    elif args.command == "compare":
+        _cmd_compare(args)
+    elif args.command == "figure":
+        scale = ExperimentScale()
+        if args.fast:
+            scale = ExperimentScale(
+                micro_transactions=60,
+                macro_transactions=40,
+                micro_threads=2,
+                macro_threads=2,
+            )
+        print(FIGURES[args.name](scale))
+    elif args.command == "overhead":
+        print(FIGURES["table1"](None))
+    elif args.command == "record":
+        _cmd_record(args)
+    elif args.command == "replay":
+        _cmd_replay(args)
+    return 0
+
+
+def _cmd_record(args) -> None:
+    from repro.analysis.trace_io import RecordingWorkload, save_trace
+
+    system = make_system("MorLog-SLDE", default_config())
+    recorder = RecordingWorkload(
+        make_workload(args.workload, None)
+    )
+    system.run(recorder, args.transactions, n_threads=args.threads)
+    count = save_trace(args.out, recorder.ops)
+    print("wrote %d trace ops (%d transactions) to %s"
+          % (count, args.transactions, args.out))
+
+
+def _cmd_replay(args) -> None:
+    from repro.analysis.trace_io import TraceWorkload, load_trace
+
+    ops = load_trace(args.trace)
+    workload = TraceWorkload(ops)
+    system = make_system(args.design, default_config())
+    n = workload.total_transactions()
+    result = system.run(workload, n, n_threads=args.threads)
+    rows = [
+        ["replayed transactions", result.transactions],
+        ["throughput (tx/s)", result.throughput_tx_per_s],
+        ["NVMM writes", result.nvmm_writes],
+        ["NVMM write energy (nJ)", result.nvmm_write_energy_pj / 1000.0],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       "%s replaying %s" % (args.design, args.trace)))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the simulator."""
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(SimulationError):
+    """An invalid or inconsistent configuration value."""
+
+
+class LogOverflowError(SimulationError):
+    """The write set of an in-flight transaction exceeded the log region.
+
+    The paper (section III-A) prevents this by allocating a large-enough log
+    region or chaining a temporary region; we surface it as an error so the
+    caller can grow the region.
+    """
+
+
+class RecoveryError(SimulationError):
+    """The recovery routine found an inconsistent log region."""
+
+
+class AllocationError(SimulationError):
+    """The persistent heap could not satisfy an allocation."""

@@ -1,0 +1,15 @@
+"""The MorLog system: cores, durable transactions and the design factory.
+
+- :mod:`repro.core.system` — assembles cores, caches, a hardware logger,
+  the memory controller and the NVMM module into one simulated machine,
+  and runs workloads on it.
+- :mod:`repro.core.transaction` — the ``Tx_Begin``/``Tx_End`` programmer
+  interface (section III-A) as a context object workloads write through.
+- :mod:`repro.core.designs` — the six evaluated designs of section VI-A.
+"""
+
+from repro.core.designs import DESIGN_NAMES, make_system
+from repro.core.system import System, RunResult
+from repro.core.transaction import TxContext
+
+__all__ = ["DESIGN_NAMES", "make_system", "System", "RunResult", "TxContext"]

@@ -1,0 +1,92 @@
+"""Factory for the six evaluated designs (paper section VI-A).
+
+==============  =============  ==========  =====================================
+Design          Logger         Log codec   Notes
+==============  =============  ==========  =====================================
+FWB-CRADE       FWB, 16-entry  CRADE       the state-of-the-art baseline
+FWB-Unsafe      FWB, 48-entry  CRADE       no eager eviction bound; shows that
+                                           merely growing the buffer is not it
+FWB-SLDE        FWB, 16-entry  SLDE        baseline logger + our codec
+MorLog-CRADE    MorLog         CRADE       our logger + existing codec
+MorLog-SLDE     MorLog         SLDE        our logger + our codec
+MorLog-DP       MorLog         SLDE        + delay-persistence commit
+==============  =============  ==========  =====================================
+"""
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.core.system import System
+from repro.logging_hw.fwb import FwbLogger
+from repro.logging_hw.morlog import MorLogLogger
+
+DESIGN_NAMES = (
+    "FWB-CRADE",
+    "FWB-Unsafe",
+    "FWB-SLDE",
+    "MorLog-CRADE",
+    "MorLog-SLDE",
+    "MorLog-DP",
+)
+
+# Ablation-only baselines from the paper's section II-A taxonomy (Figure
+# 1): undo-only logging (ATOM-style, forced data write-back at commit)
+# and redo-only logging (ReDU/DHTM-style, DRAM-staged in-flight lines).
+# Not part of the paper's evaluated set.
+ABLATION_DESIGN_NAMES = ("Undo-CRADE", "Redo-CRADE")
+
+
+def _design_config(name: str, base: SystemConfig) -> SystemConfig:
+    logging = base.logging
+    encoding = base.encoding
+    if name in ("FWB-CRADE", "FWB-Unsafe", "MorLog-CRADE", "Undo-CRADE", "Redo-CRADE"):
+        encoding = replace(encoding, log_codec="crade")
+    elif name in ("FWB-SLDE", "MorLog-SLDE", "MorLog-DP"):
+        encoding = replace(encoding, log_codec="slde")
+    else:
+        raise ConfigError("unknown design %r" % name)
+    logging = replace(logging, delay_persistence=(name == "MorLog-DP"))
+    return base.with_changes(logging=logging, encoding=encoding)
+
+
+def make_system(name: str, config: Optional[SystemConfig] = None) -> System:
+    """Build a :class:`System` running design ``name``."""
+    base = config if config is not None else SystemConfig()
+    cfg = _design_config(name, base)
+
+    if name == "Undo-CRADE":
+        from repro.logging_hw.undo_only import UndoOnlyLogger
+
+        return System(cfg, UndoOnlyLogger, design_name=name)
+    if name == "Redo-CRADE":
+        from repro.logging_hw.redo_only import RedoOnlyLogger
+
+        return System(cfg, RedoOnlyLogger, design_name=name)
+
+    if name.startswith("FWB"):
+        if name == "FWB-Unsafe":
+            # Buffer as large as undo+redo + redo combined, no age bound.
+            entries = (
+                cfg.logging.undo_redo_buffer_entries
+                + cfg.logging.redo_buffer_entries
+            )
+
+            def factory(config, controller, region, stats):
+                return FwbLogger(
+                    config, controller, region, stats,
+                    buffer_entries=entries, eager=False,
+                )
+        else:
+            def factory(config, controller, region, stats):
+                return FwbLogger(
+                    config, controller, region, stats,
+                    buffer_entries=config.logging.undo_redo_buffer_entries,
+                    eager=True,
+                )
+    else:
+        def factory(config, controller, region, stats):
+            return MorLogLogger(config, controller, region, stats)
+
+    return System(cfg, factory, design_name=name)

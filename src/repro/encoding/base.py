@@ -1,0 +1,100 @@
+"""Codec interfaces and the trivial raw codec.
+
+Encoding happens at 64-bit word granularity (the paper's log granularity).
+A codec turns a word into an :class:`EncodedWord`: a payload bitstream, its
+size, a tag record describing how to decode it, and the *cell mapping
+policy* (how many bits each TLC cell stores).  The NVMM array turns the
+encoded word into cell levels, applies data-comparison write against the
+old levels, and charges latency/energy for the programmed cells only.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.bitops import WORD_BITS, mask_word
+from repro.encoding.expansion import ExpansionPolicy
+
+
+@dataclass(frozen=True)
+class EncodedWord:
+    """The result of encoding one 64-bit word for an NVMM write.
+
+    Attributes:
+        method: codec identifier, stored in the encoding type flag so the
+            read path can pick the right decoder (section IV-B).
+        payload: the compressed bitstream as an unsigned integer.
+        payload_bits: number of meaningful bits in ``payload``.
+        tag_bits: sideband tag bits this encoding needs (compression tags,
+            dirty flags, encoding type flag).  They are written to NVMM too
+            — into a separate per-word tag-cell group, as CompEx-style
+            hardware stores compression tags in a tag array — and they
+            participate in the cost model.
+        tag_payload: the content of those tag bits (e.g. the FPC prefix),
+            so the tag cells are programmed with real data and the decoder
+            can read the prefix back.
+        policy: the expansion-coding policy used to map payload bits onto
+            TLC cells.
+        dirty_mask: for DLDC-encoded log data, the per-byte dirty flag the
+            decoder needs (also counted inside ``tag_bits``).
+        silent: True when the write can be elided entirely (a *silent log
+            write*, section IV-A).
+    """
+
+    method: str
+    payload: int
+    payload_bits: int
+    tag_bits: int
+    policy: ExpansionPolicy
+    tag_payload: int = 0
+    dirty_mask: Optional[int] = None
+    silent: bool = False
+
+    @property
+    def total_bits(self) -> int:
+        """Bits that must reach NVMM for this word (payload + tags)."""
+        return 0 if self.silent else self.payload_bits + self.tag_bits
+
+    def __post_init__(self) -> None:
+        if self.payload_bits < 0 or self.tag_bits < 0:
+            raise ValueError("bit counts cannot be negative")
+        if self.payload < 0:
+            raise ValueError("payload must be unsigned")
+        if self.payload_bits and self.payload >> self.payload_bits:
+            raise ValueError("payload wider than payload_bits")
+
+
+class WordCodec:
+    """Base class for word codecs.
+
+    Subclasses implement :meth:`encode` / :meth:`decode`.  ``old_word`` is
+    the word currently stored at the target location; general-purpose
+    codecs ignore it, Flip-N-Write and DLDC use it.
+    """
+
+    name = "abstract"
+
+    def encode(self, word: int, old_word: Optional[int] = None) -> EncodedWord:
+        raise NotImplementedError
+
+    def decode(self, encoded: EncodedWord, old_word: Optional[int] = None) -> int:
+        raise NotImplementedError
+
+
+class RawCodec(WordCodec):
+    """No compression: 64 payload bits, raw 3-bits-per-cell mapping."""
+
+    name = "raw"
+
+    def encode(self, word: int, old_word: Optional[int] = None) -> EncodedWord:
+        return EncodedWord(
+            method=self.name,
+            payload=mask_word(word),
+            payload_bits=WORD_BITS,
+            tag_bits=0,
+            policy=ExpansionPolicy.RAW,
+        )
+
+    def decode(self, encoded: EncodedWord, old_word: Optional[int] = None) -> int:
+        if encoded.method != self.name:
+            raise ValueError("not a raw encoding: %r" % encoded.method)
+        return mask_word(encoded.payload)

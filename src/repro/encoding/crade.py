@@ -1,0 +1,51 @@
+"""CRADE: compression-ratio-aware data encoding (Xu et al., ICCD 2017).
+
+CRADE is the paper's state-of-the-art general-purpose codec: it first
+compresses each word with FPC, then expands the compressed bits with the
+best-performing incomplete data mapping according to the compression ratio
+(section IV-B).  In this model that means: pick the densest
+:class:`ExpansionPolicy` whose cheap-level capacity fits the FPC output.
+"""
+
+from functools import lru_cache
+from typing import Optional
+
+from repro.common.bitops import mask_word
+from repro.encoding.base import EncodedWord, WordCodec
+from repro.encoding.fpc import FPC_TAG_BITS, fpc_compress, fpc_decompress
+from repro.encoding.expansion import policy_for_size
+
+
+@lru_cache(maxsize=1 << 16)
+def _crade_encode_cached(word: int, expansion_enabled: bool) -> EncodedWord:
+    prefix, payload, bits = fpc_compress(word)
+    policy = policy_for_size(bits, expansion_enabled)
+    # Sideband tags: the 3-bit FPC prefix plus a 2-bit expansion-policy
+    # tag so the read path knows how the cells were mapped (the paper's
+    # "encoding tag bit[s]" stored along with the data, section IV-B).
+    return EncodedWord(
+        method="crade",
+        payload=payload,
+        payload_bits=bits,
+        tag_bits=FPC_TAG_BITS + 2,
+        tag_payload=prefix,
+        policy=policy,
+    )
+
+
+class CradeCodec(WordCodec):
+    """FPC + compression-ratio-aware expansion coding."""
+
+    name = "crade"
+
+    def __init__(self, expansion_enabled: bool = True) -> None:
+        self._expansion_enabled = expansion_enabled
+
+    def encode(self, word: int, old_word: Optional[int] = None) -> EncodedWord:
+        return _crade_encode_cached(mask_word(word), self._expansion_enabled)
+
+    def decode(self, encoded: EncodedWord, old_word: Optional[int] = None) -> int:
+        if encoded.method != self.name:
+            raise ValueError("not a CRADE encoding: %r" % encoded.method)
+        prefix = encoded.tag_payload & ((1 << FPC_TAG_BITS) - 1)
+        return fpc_decompress(prefix, encoded.payload)

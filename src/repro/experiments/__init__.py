@@ -1,0 +1,21 @@
+"""Experiment harness: one entry point per paper table and figure.
+
+Every public function in :mod:`repro.experiments.figures` regenerates one
+evaluation artifact (Figure 3/5/12-16, Table I/II/V/VI, and the section
+VI-E sensitivity study) and returns its data in a structured form; the
+``benchmarks/`` tree wraps each one in a pytest-benchmark case that also
+prints the paper-shaped table.
+"""
+
+from repro.experiments.runner import ExperimentScale, run_design, run_grid
+from repro.experiments.headline import HeadlineResult, headline_comparison
+from repro.experiments import figures
+
+__all__ = [
+    "ExperimentScale",
+    "run_design",
+    "run_grid",
+    "figures",
+    "HeadlineResult",
+    "headline_comparison",
+]

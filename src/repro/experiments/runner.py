@@ -1,0 +1,107 @@
+"""Grid runner for design x workload sweeps.
+
+The paper runs 100 K transactions per configuration on a cycle-accurate
+simulator; this Python reproduction defaults to a few hundred per cell —
+the normalized ratios it reports stabilise well before that (there is a
+convergence test in ``tests/test_experiments.py``).  Set the environment
+variable ``REPRO_SCALE`` (float, default 1.0) to scale every transaction
+count up or down.
+"""
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.common.config import LoggingConfig, SystemConfig
+from repro.core.designs import make_system
+from repro.core.system import RunResult
+from repro.workloads.base import DatasetSize, WorkloadParams, make_workload
+
+
+def _scale() -> float:
+    try:
+        return float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Transaction counts and thread counts for one sweep."""
+
+    micro_transactions: int = 240
+    macro_transactions: int = 120
+    large_factor: float = 0.1    # large-dataset cells run fewer txs
+    micro_threads: int = 8       # paper: 8
+    macro_threads: int = 4       # paper: 4
+
+    def transactions(self, macro: bool, dataset: DatasetSize) -> int:
+        base = self.macro_transactions if macro else self.micro_transactions
+        if dataset is DatasetSize.LARGE:
+            base = max(int(base * self.large_factor), 20)
+        return max(int(base * _scale()), 10)
+
+    def threads(self, macro: bool) -> int:
+        return self.macro_threads if macro else self.micro_threads
+
+
+MACRO_NAMES = {"echo", "ycsb", "tpcc"}
+
+DEFAULT_PARAMS = WorkloadParams(initial_items=256, key_space=1024)
+
+
+def default_config() -> SystemConfig:
+    """Experiment base config: Table III with a sweep-friendly log region."""
+    return SystemConfig(logging=LoggingConfig(log_region_bytes=8 * 1024 * 1024))
+
+
+def run_design(
+    design: str,
+    workload_name: str,
+    dataset: DatasetSize = DatasetSize.SMALL,
+    scale: Optional[ExperimentScale] = None,
+    config: Optional[SystemConfig] = None,
+    params: Optional[WorkloadParams] = None,
+    n_threads: Optional[int] = None,
+    n_transactions: Optional[int] = None,
+) -> RunResult:
+    """Run one (design, workload, dataset) cell."""
+    scale = scale or ExperimentScale()
+    config = config if config is not None else default_config()
+    params = params or DEFAULT_PARAMS
+    params = WorkloadParams(
+        dataset=dataset,
+        initial_items=params.initial_items,
+        key_space=params.key_space,
+        seed=params.seed,
+        zero_fraction=params.zero_fraction,
+        small_fraction=params.small_fraction,
+    )
+    macro = workload_name in MACRO_NAMES
+    system = make_system(design, config)
+    workload = make_workload(workload_name, params)
+    return system.run(
+        workload,
+        n_transactions or scale.transactions(macro, dataset),
+        n_threads or scale.threads(macro),
+    )
+
+
+def run_grid(
+    designs: Iterable[str],
+    workloads: Iterable[str],
+    dataset: DatasetSize = DatasetSize.SMALL,
+    scale: Optional[ExperimentScale] = None,
+    config: Optional[SystemConfig] = None,
+    params: Optional[WorkloadParams] = None,
+) -> Dict[str, Dict[str, RunResult]]:
+    """Run the full grid; returns {workload: {design: RunResult}}."""
+    results: Dict[str, Dict[str, RunResult]] = {}
+    for workload in workloads:
+        row: Dict[str, RunResult] = {}
+        for design in designs:
+            row[design] = run_design(
+                design, workload, dataset, scale, config, params
+            )
+        results[workload] = row
+    return results

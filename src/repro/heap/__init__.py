@@ -1,0 +1,11 @@
+"""Persistent heap: the pmalloc/pfree interface the workloads use.
+
+The paper's macro-benchmarks are modified WHISPER applications that
+allocate through pmalloc/pfree instead of mmap (section VI-A); the
+micro-benchmarks build their data structures the same way.  The heap hands
+out word-aligned extents of the NVMM address range.
+"""
+
+from repro.heap.allocator import PersistentHeap
+
+__all__ = ["PersistentHeap"]

@@ -1,0 +1,172 @@
+"""Log entry formats (paper Figure 7) and their log-region packing.
+
+Every buffer entry carries a 2-bit type, an 8-bit thread ID, a 16-bit
+transaction ID, a 48-bit word address and one or two words of log data.  In
+the log region an entry occupies two metadata words plus its data words:
+
+- metadata word 0: type | tid | txid | torn bit | ulog counter | sequence
+  number (the sequence number is our addition — it disambiguates the wrap
+  point of the circular region, see DESIGN.md substitutions);
+- metadata word 1: home word address | per-byte dirty flag | timestamp
+  low bits (distributed-log commit records, section III-F).
+
+Log data words are stored at word granularity, exactly the paper's logging
+granularity (section III-A).
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.bitops import WORD_BYTES, mask_word
+
+
+class EntryType(enum.Enum):
+    UNDO_REDO = 0
+    REDO = 1
+    COMMIT = 2
+    UNDO = 3    # undo-only designs (the ATOM-style ablation baseline)
+
+    @property
+    def n_data_words(self) -> int:
+        return {
+            EntryType.UNDO_REDO: 2,
+            EntryType.REDO: 1,
+            EntryType.COMMIT: 0,
+            EntryType.UNDO: 1,
+        }[self]
+
+    @property
+    def n_slots(self) -> int:
+        """Total 64-bit log-region slots the entry occupies."""
+        return 2 + self.n_data_words
+
+
+_TYPE_BITS = 2
+_TID_BITS = 8
+_TXID_BITS = 16
+_TORN_BITS = 1
+_ULOG_BITS = 16
+_SEQ_BITS = 20
+_ADDR_BITS = 48
+_MASK_BITS = 8
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One undo+redo or redo log entry."""
+
+    type: EntryType
+    tid: int
+    txid: int
+    addr: int                       # 64-bit-aligned home address
+    redo: int                       # newest value of the word
+    undo: Optional[int] = None      # oldest value (UNDO_REDO only)
+    dirty_mask: int = 0xFF          # per-byte dirty flag (section IV-A)
+
+    def __post_init__(self) -> None:
+        if self.addr % WORD_BYTES:
+            raise ValueError("log entries are word aligned")
+        if self.type in (EntryType.UNDO_REDO, EntryType.UNDO) and self.undo is None:
+            raise ValueError("undo-carrying entries need undo data")
+        if self.type is EntryType.REDO and self.undo is not None:
+            raise ValueError("redo entries carry no undo data")
+        if self.type is EntryType.COMMIT:
+            raise ValueError("commit records use CommitRecord")
+
+    @property
+    def key(self) -> Tuple[int, int, int]:
+        """Coalescing key: the same word written by the same transaction."""
+        return (self.tid, self.txid, self.addr)
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """Transaction commit record.
+
+    ``ulog_counter`` backs the delay-persistence protocol (section III-C):
+    the number of L1 words still holding unlogged redo data at commit.
+    ``timestamp`` orders commits across distributed per-thread logs
+    (section III-F).
+    """
+
+    tid: int
+    txid: int
+    ulog_counter: int = 0
+    timestamp: int = 0
+
+    @property
+    def type(self) -> EntryType:
+        return EntryType.COMMIT
+
+
+def pack_meta_words(
+    record,
+    torn: int,
+    seq: int,
+) -> List[int]:
+    """Pack an entry or commit record into its two metadata words."""
+    entry_type = record.type
+    ulog = getattr(record, "ulog_counter", 0)
+    meta0 = (
+        (entry_type.value & ((1 << _TYPE_BITS) - 1))
+        | ((record.tid & ((1 << _TID_BITS) - 1)) << _TYPE_BITS)
+        | ((record.txid & ((1 << _TXID_BITS) - 1)) << (_TYPE_BITS + _TID_BITS))
+        | ((torn & 1) << (_TYPE_BITS + _TID_BITS + _TXID_BITS))
+        | ((ulog & ((1 << _ULOG_BITS) - 1)) << (_TYPE_BITS + _TID_BITS + _TXID_BITS + _TORN_BITS))
+        | ((seq & ((1 << _SEQ_BITS) - 1)) << (_TYPE_BITS + _TID_BITS + _TXID_BITS + _TORN_BITS + _ULOG_BITS))
+    )
+    if entry_type is EntryType.COMMIT:
+        meta1 = record.timestamp & ((1 << 63) - 1)
+    else:
+        meta1 = (record.addr & ((1 << _ADDR_BITS) - 1)) | (
+            (record.dirty_mask & ((1 << _MASK_BITS) - 1)) << _ADDR_BITS
+        )
+    return [mask_word(meta0), mask_word(meta1)]
+
+
+@dataclass(frozen=True)
+class ParsedMeta:
+    """Decoded metadata words, as the recovery routine sees them."""
+
+    type: EntryType
+    tid: int
+    txid: int
+    torn: int
+    ulog_counter: int
+    seq: int
+    addr: int
+    dirty_mask: int
+    timestamp: int
+
+
+def unpack_meta_words(meta0: int, meta1: int) -> ParsedMeta:
+    """Inverse of :func:`pack_meta_words`."""
+    type_value = meta0 & ((1 << _TYPE_BITS) - 1)
+    try:
+        entry_type = EntryType(type_value)
+    except ValueError:
+        raise ValueError("invalid entry type %d" % type_value)
+    shift = _TYPE_BITS
+    tid = (meta0 >> shift) & ((1 << _TID_BITS) - 1)
+    shift += _TID_BITS
+    txid = (meta0 >> shift) & ((1 << _TXID_BITS) - 1)
+    shift += _TXID_BITS
+    torn = (meta0 >> shift) & 1
+    shift += _TORN_BITS
+    ulog = (meta0 >> shift) & ((1 << _ULOG_BITS) - 1)
+    shift += _ULOG_BITS
+    seq = (meta0 >> shift) & ((1 << _SEQ_BITS) - 1)
+    if entry_type is EntryType.COMMIT:
+        return ParsedMeta(entry_type, tid, txid, torn, ulog, seq, 0, 0, meta1)
+    addr = meta1 & ((1 << _ADDR_BITS) - 1)
+    mask = (meta1 >> _ADDR_BITS) & ((1 << _MASK_BITS) - 1)
+    return ParsedMeta(entry_type, tid, txid, torn, ulog, seq, addr, mask, 0)
+
+
+SEQ_MODULUS = 1 << _SEQ_BITS
+
+
+def seq_follows(prev: int, current: int) -> bool:
+    """True when ``current`` is the successor of ``prev`` mod 2^20."""
+    return current == (prev + 1) % SEQ_MODULUS

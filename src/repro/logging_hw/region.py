@@ -1,0 +1,272 @@
+"""The circular log region (paper section III-A).
+
+A single-consumer, single-producer Lamport circular buffer of 64-bit slots
+in NVMM.  The producer (log controller) appends entries at the tail; the
+consumer (log truncation) advances the head once a transaction's updated
+data are persistent.  Head state is persisted in a small control block at
+the region base so recovery can find the log after a crash; the tail is
+recovered by scanning forward until the torn-bit parity or the sequence
+chain breaks.
+
+Entries never straddle the wrap point: when the remaining slots cannot hold
+the entry, the tail jumps back to the first entry slot and the pass parity
+(torn bit) flips.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+from repro.common.bitops import WORD_BYTES, WORDS_PER_LINE
+from repro.common.errors import LogOverflowError
+from repro.common.stats import StatGroup
+from repro.logging_hw.entries import (
+    CommitRecord,
+    EntryType,
+    LogEntry,
+    SEQ_MODULUS,
+    pack_meta_words,
+)
+from repro.memory.controller import MemoryController
+from repro.nvm.module import LogDataWord, WriteKind, WriteResult
+
+# The first cache line of the region is the control block.
+CONTROL_SLOTS = WORDS_PER_LINE
+MAX_ENTRY_SLOTS = EntryType.UNDO_REDO.n_slots
+
+
+@dataclass
+class LiveEntry:
+    """Volatile index of one entry, used for truncation decisions."""
+
+    offset: int        # slot offset inside the region
+    n_slots: int
+    type: EntryType
+    tid: int
+    txid: int
+    seq: int
+
+
+class LogRegion:
+    """Circular log with durable head pointer and torn-bit passes."""
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        base_addr: int,
+        size_bytes: int,
+        stats: Optional[StatGroup] = None,
+        on_overflow: Optional[Callable[[float], float]] = None,
+    ) -> None:
+        if size_bytes % WORD_BYTES:
+            raise ValueError("log region size must be word aligned")
+        self.controller = controller
+        self.base_addr = base_addr
+        self.n_slots = size_bytes // WORD_BYTES
+        if self.n_slots <= CONTROL_SLOTS + MAX_ENTRY_SLOTS:
+            raise ValueError("log region too small")
+        self.stats = stats if stats is not None else StatGroup("log_region")
+        self.on_overflow = on_overflow
+        self.head = CONTROL_SLOTS      # slot offset of the oldest live entry
+        self.tail = CONTROL_SLOTS      # next free slot offset
+        self.parity = 1                # torn bit of the current pass
+        self.head_parity = 1           # torn bit valid at the head
+        self.seq = 0                   # next sequence number
+        self.head_seq = 0              # sequence number of the head entry
+        self.live: Deque[LiveEntry] = deque()
+        self._used_slots = 0
+        # Optional debug tap: called with each record as it is appended
+        # (used by the WAL-ordering checker).
+        self.append_observer: Optional[Callable] = None
+        self._persist_control(0.0)
+
+    # ------------------------------------------------------------------
+    # Capacity accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity_slots(self) -> int:
+        return self.n_slots - CONTROL_SLOTS
+
+    def used_slots(self) -> int:
+        return self._used_slots
+
+    def free_slots(self) -> int:
+        return self.capacity_slots - self.used_slots()
+
+    def slot_addr(self, offset: int) -> int:
+        return self.base_addr + offset * WORD_BYTES
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+
+    def _reserve(self, n_slots: int, now_ns: float) -> float:
+        # Keep one max-size entry of slack so head == tail stays
+        # unambiguous (classic circular-buffer discipline).
+        while self.free_slots() < n_slots + MAX_ENTRY_SLOTS:
+            if self.on_overflow is None:
+                raise LogOverflowError(
+                    "log region full (%d live slots)" % self.used_slots()
+                )
+            freed_at = self.on_overflow(now_ns)
+            now_ns = max(now_ns, freed_at)
+            if self.free_slots() < n_slots + MAX_ENTRY_SLOTS:
+                raise LogOverflowError("overflow handler could not free space")
+        return now_ns
+
+    def append(
+        self,
+        record,
+        now_ns: float,
+        undo: Optional[LogDataWord] = None,
+        redo: Optional[LogDataWord] = None,
+    ) -> WriteResult:
+        """Append a log entry or commit record and write it to NVMM."""
+        entry_type = record.type
+        n_slots = entry_type.n_slots
+        now_ns = self._reserve(n_slots, now_ns)
+
+        if self.n_slots - self.tail < n_slots:
+            # Wrap: flip the pass parity, restart after the control block.
+            self.tail = CONTROL_SLOTS
+            self.parity ^= 1
+            self.stats.add("wraps")
+
+        if entry_type in (EntryType.UNDO_REDO, EntryType.UNDO) and undo is None:
+            undo = LogDataWord(record.undo)
+        if entry_type in (EntryType.UNDO_REDO, EntryType.REDO) and redo is None:
+            redo = LogDataWord(record.redo)
+
+        offset = self.tail
+        seq = self.seq
+        meta_words = pack_meta_words(record, self.parity, seq)
+        kind = WriteKind.COMMIT if entry_type is EntryType.COMMIT else WriteKind.LOG
+        result = self.controller.write_log_entry(
+            self.slot_addr(offset),
+            meta_words,
+            now_ns,
+            undo=undo,
+            redo=redo,
+            kind=kind,
+        )
+        self.tail = offset + n_slots
+        self.seq = (seq + 1) % SEQ_MODULUS
+        self.live.append(
+            LiveEntry(offset, n_slots, entry_type, record.tid, record.txid, seq)
+        )
+        self._used_slots += n_slots
+        self.stats.add("entries_appended")
+        if self.append_observer is not None:
+            self.append_observer(record)
+        return result
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+
+    def truncate(self, can_free: Callable[[LiveEntry], bool], now_ns: float) -> int:
+        """Free the longest eligible prefix of live entries.
+
+        ``can_free(entry)`` decides eligibility (e.g. "its transaction
+        committed before the last two FWB scans").  Returns the number of
+        entries freed; persists the new head pointer when anything moved.
+        """
+        freed = 0
+        while self.live and can_free(self.live[0]):
+            entry = self.live.popleft()
+            self._used_slots -= entry.n_slots
+            freed += 1
+            if self.live:
+                nxt = self.live[0]
+                self.head = nxt.offset
+                self.head_seq = nxt.seq
+                if nxt.offset < entry.offset:
+                    self.head_parity ^= 1
+            else:
+                self.head = self.tail
+                self.head_seq = self.seq
+                self.head_parity = self.parity
+        if freed:
+            self._persist_control(now_ns)
+            self.stats.add("entries_truncated", freed)
+        return freed
+
+    # ------------------------------------------------------------------
+    # Durable control block
+    # ------------------------------------------------------------------
+
+    def _persist_control(self, now_ns: float) -> None:
+        words = [self.head, self.head_seq, self.head_parity, 0, 0, 0, 0, 0]
+        self.controller.nvm.write_data_line(self.base_addr, words, now_ns)
+
+    @staticmethod
+    def read_control(controller: MemoryController, base_addr: int):
+        """Read (head, head_seq, head_parity) from the control block."""
+        array = controller.nvm.array
+        return (
+            array.read_logical(base_addr),
+            array.read_logical(base_addr + WORD_BYTES),
+            array.read_logical(base_addr + 2 * WORD_BYTES),
+        )
+
+
+class LogRegionSet:
+    """Distributed (per-thread) logs — paper section III-F.
+
+    One :class:`LogRegion` per hardware thread, with the same append /
+    truncate interface as a single region so the loggers are oblivious.
+    Appends route by the record's TID; the commit-record timestamps order
+    transactions across threads at recovery time (the TID in each entry
+    becomes redundant, but we keep the shared entry format).
+    """
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        base_addr: int,
+        total_bytes: int,
+        n_threads: int,
+        stats: Optional[StatGroup] = None,
+        on_overflow: Optional[Callable[[float], float]] = None,
+    ) -> None:
+        if n_threads <= 0:
+            raise ValueError("need at least one thread log")
+        self.base_addr = base_addr
+        per_region = (total_bytes // n_threads) & ~63
+        self.region_bytes = per_region
+        self.regions = [
+            LogRegion(
+                controller,
+                base_addr + i * per_region,
+                per_region,
+                stats,
+                on_overflow,
+            )
+            for i in range(n_threads)
+        ]
+        self.stats = self.regions[0].stats
+
+    @property
+    def on_overflow(self):
+        return self.regions[0].on_overflow
+
+    @on_overflow.setter
+    def on_overflow(self, handler) -> None:
+        for region in self.regions:
+            region.on_overflow = handler
+
+    def region_for(self, tid: int) -> LogRegion:
+        return self.regions[tid % len(self.regions)]
+
+    def append(self, record, now_ns: float, undo=None, redo=None):
+        return self.region_for(record.tid).append(record, now_ns, undo=undo, redo=redo)
+
+    def truncate(self, can_free, now_ns: float) -> int:
+        return sum(r.truncate(can_free, now_ns) for r in self.regions)
+
+    def free_slots(self) -> int:
+        return min(r.free_slots() for r in self.regions)
+
+    def region_bases(self):
+        return [r.base_addr for r in self.regions]

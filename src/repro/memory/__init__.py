@@ -1,0 +1,12 @@
+"""Memory-bus level models: DRAM and the memory controller.
+
+DRAM and NVMM share one physical address space (paper section III-A);
+addresses at or above ``SystemConfig.nvmm_base`` route to the NVM module,
+lower addresses to DRAM.  The controller's write queue (inside
+:mod:`repro.nvm.timing`) is in the ADR persistence domain.
+"""
+
+from repro.memory.dram import Dram
+from repro.memory.controller import MemoryController
+
+__all__ = ["Dram", "MemoryController"]

@@ -1,0 +1,43 @@
+"""A deliberately simple DRAM model.
+
+DRAM stores the data that do not require persistence (section III-A) and
+the staging region for non-temporal stores (section III-F).  It needs no
+cell-level cost model — just fixed access latencies and a word store.
+"""
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.common.bitops import WORD_BYTES, WORDS_PER_LINE, align_down, mask_word
+from repro.common.stats import StatGroup
+
+DRAM_READ_NS = 50.0
+DRAM_WRITE_NS = 50.0
+
+
+class Dram:
+    """Sparse word-granularity DRAM."""
+
+    def __init__(self, stats: Optional[StatGroup] = None) -> None:
+        self._words: Dict[int, int] = {}
+        self.stats = stats if stats is not None else StatGroup("dram")
+
+    def read_line(self, addr: int, now_ns: float) -> Tuple[Tuple[int, ...], float]:
+        base = align_down(addr, WORD_BYTES * WORDS_PER_LINE)
+        words = tuple(
+            self._words.get(base + i * WORD_BYTES, 0) for i in range(WORDS_PER_LINE)
+        )
+        self.stats.add("reads")
+        return words, now_ns + DRAM_READ_NS
+
+    def write_line(self, addr: int, words: Sequence[int], now_ns: float) -> float:
+        base = align_down(addr, WORD_BYTES * WORDS_PER_LINE)
+        for i, word in enumerate(words):
+            self._words[base + i * WORD_BYTES] = mask_word(word)
+        self.stats.add("writes")
+        return now_ns + DRAM_WRITE_NS
+
+    def read_word(self, addr: int) -> int:
+        return self._words.get(align_down(addr, WORD_BYTES), 0)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._words[align_down(addr, WORD_BYTES)] = mask_word(value)

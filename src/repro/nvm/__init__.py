@@ -1,0 +1,31 @@
+"""TLC RRAM main-memory model (paper Table III).
+
+- :mod:`repro.nvm.cell` — per-cell program cost with data-comparison write.
+- :mod:`repro.nvm.array` — the byte-addressable NVMM array storing encoded
+  words (cell levels + sideband tags) with per-write cost accounting.
+- :mod:`repro.nvm.timing` — channel/bank occupancy and the FRFCFS-WQF
+  write-queue model.
+- :mod:`repro.nvm.module` — the NVM module controller with the SLDE codec
+  on its write and read paths (paper Figure 10).
+"""
+
+from repro.nvm.array import NvmArray, StoredWord, WriteCost
+from repro.nvm.cell import program_cost
+from repro.nvm.endurance import EnduranceReport, endurance_report
+from repro.nvm.module import NvmModule, WriteKind
+from repro.nvm.timing import BankTiming, WriteQueue
+from repro.nvm.wear_leveling import StartGapRemapper
+
+__all__ = [
+    "NvmArray",
+    "StoredWord",
+    "WriteCost",
+    "program_cost",
+    "EnduranceReport",
+    "endurance_report",
+    "NvmModule",
+    "WriteKind",
+    "BankTiming",
+    "WriteQueue",
+    "StartGapRemapper",
+]

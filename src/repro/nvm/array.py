@@ -1,0 +1,192 @@
+"""The NVMM array: encoded word storage with per-write cost accounting.
+
+Each 64-bit word slot owns 22 TLC data cells plus a small group of *tag
+cells* holding the sideband metadata (encoding type flag, expansion policy,
+DLDC dirty flag).  A write encodes the word (done by the module controller),
+maps the payload onto cell levels, and programs data and tag cells under
+DCW; cells beyond the encoded payload keep their old levels — that is where
+expansion coding and DLDC save writes.
+
+The array also keeps the *logical* value of every word so recovery and
+tests can check decode(read(addr)) against ground truth, and supports
+snapshot/restore for crash-injection testing.
+"""
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+from repro.common.bitops import WORD_BYTES, align_down, mask_word, split_cells
+from repro.common.config import NVMConfig
+from repro.common.stats import StatGroup
+from repro.encoding.base import EncodedWord
+from repro.encoding.expansion import (
+    CELLS_PER_WORD,
+    ExpansionPolicy,
+    cells_used,
+    map_bits_to_cells,
+)
+from repro.nvm.cell import ZERO_COST, CellProgramCost, program_cost
+
+# Sideband metadata per word: 3-bit encoding type flag, 2-bit expansion
+# policy, 8-bit dirty flag, plus up to 8 codec tag-payload bits (FPC
+# prefix, flip bit, ...) => 21 bits => 7 tag cells at 3 bits per cell.
+TAG_BITS = 21
+TAG_CELLS = (TAG_BITS + 2) // 3
+
+_METHOD_IDS = {"raw": 0, "fpc": 1, "crade": 2, "dldc": 3, "flip-n-write": 4, "slde": 5}
+_POLICY_IDS = {ExpansionPolicy.RAW: 0, ExpansionPolicy.EXPAND2: 1, ExpansionPolicy.EXPAND1: 2}
+
+
+@dataclass
+class StoredWord:
+    """Physical state of one word slot."""
+
+    logical: int
+    data_cells: Tuple[int, ...]
+    tag_cells: Tuple[int, ...]
+    encoded: Optional[EncodedWord]
+
+    @staticmethod
+    def pristine() -> "StoredWord":
+        return StoredWord(0, (0,) * CELLS_PER_WORD, (0,) * TAG_CELLS, None)
+
+
+@dataclass(frozen=True)
+class WriteCost:
+    """Accounting result of one word write."""
+
+    cells_programmed: int
+    bits_written: int
+    latency_ns: float
+    energy_pj: float
+    silent: bool
+
+    @staticmethod
+    def zero() -> "WriteCost":
+        return WriteCost(0, 0, 0.0, 0.0, True)
+
+    def merged(self, other: "WriteCost") -> "WriteCost":
+        return WriteCost(
+            cells_programmed=self.cells_programmed + other.cells_programmed,
+            bits_written=self.bits_written + other.bits_written,
+            latency_ns=max(self.latency_ns, other.latency_ns),
+            energy_pj=self.energy_pj + other.energy_pj,
+            silent=self.silent and other.silent,
+        )
+
+
+def _tag_value(encoded: EncodedWord) -> int:
+    method = _METHOD_IDS.get(encoded.method, 7)
+    policy = _POLICY_IDS[encoded.policy]
+    dirty = encoded.dirty_mask or 0
+    tag_payload = encoded.tag_payload & 0xFF
+    return method | (policy << 3) | (dirty << 5) | (tag_payload << 13)
+
+
+@lru_cache(maxsize=1 << 14)
+def _tag_cells(tag_value: int) -> Tuple[int, ...]:
+    return tuple(split_cells(tag_value, TAG_BITS, 3))
+
+
+class NvmArray:
+    """Sparse word-granularity NVMM array."""
+
+    def __init__(self, config: NVMConfig, stats: Optional[StatGroup] = None) -> None:
+        self._config = config
+        self._words: Dict[int, StoredWord] = {}
+        self.stats = stats if stats is not None else StatGroup("nvm_array")
+        # Per-word cumulative programmed-cell counts (endurance, §VI-C).
+        self.wear: Dict[int, int] = {}
+
+    @staticmethod
+    def word_addr(addr: int) -> int:
+        return align_down(addr, WORD_BYTES)
+
+    def _slot(self, addr: int) -> StoredWord:
+        waddr = self.word_addr(addr)
+        slot = self._words.get(waddr)
+        if slot is None:
+            slot = StoredWord.pristine()
+            self._words[waddr] = slot
+        return slot
+
+    def write_word(self, addr: int, encoded: EncodedWord, logical: int) -> WriteCost:
+        """Program one encoded word; returns the DCW cost.
+
+        ``logical`` is the decoded value the slot now represents (kept so
+        reads and recovery can be checked against ground truth).  A silent
+        encoding programs nothing and leaves the slot untouched.
+        """
+        if encoded.silent:
+            self.stats.add("silent_word_writes")
+            return WriteCost.zero()
+        slot = self._slot(addr)
+        mapped = map_bits_to_cells(
+            encoded.payload, encoded.payload_bits, encoded.policy
+        )
+        if len(mapped) == CELLS_PER_WORD:
+            new_data = mapped
+        else:
+            new_data = mapped + slot.data_cells[len(mapped):]
+        data_cost = program_cost(slot.data_cells, new_data, self._config)
+
+        tag_cost = ZERO_COST
+        new_tags = slot.tag_cells
+        if encoded.tag_bits > 0 or encoded.method != "raw":
+            new_tags = _tag_cells(_tag_value(encoded))
+            tag_cost = program_cost(slot.tag_cells, new_tags, self._config)
+
+        slot.logical = mask_word(logical)
+        slot.data_cells = new_data
+        slot.tag_cells = new_tags
+        slot.encoded = encoded
+
+        total = data_cost.merged(tag_cost)
+        if total.cells_programmed:
+            waddr = self.word_addr(addr)
+            self.wear[waddr] = self.wear.get(waddr, 0) + total.cells_programmed
+        bits = encoded.total_bits
+        self.stats.add("word_writes")
+        self.stats.add("cells_programmed", total.cells_programmed)
+        self.stats.add("bits_written", bits)
+        self.stats.add("energy_pj", total.energy_pj)
+        return WriteCost(
+            cells_programmed=total.cells_programmed,
+            bits_written=bits,
+            latency_ns=total.latency_ns,
+            energy_pj=total.energy_pj,
+            silent=total.cells_programmed == 0,
+        )
+
+    def read_word(self, addr: int) -> StoredWord:
+        """Return the stored state of a word slot (pristine if unwritten)."""
+        waddr = self.word_addr(addr)
+        return self._words.get(waddr, StoredWord.pristine())
+
+    def read_logical(self, addr: int) -> int:
+        return self.read_word(addr).logical
+
+    def write_logical(self, addr: int, value: int) -> None:
+        """Set a slot's logical value without cost accounting.
+
+        Used by the recovery routine, which copies log data to home
+        locations outside the measured execution window.
+        """
+        self._slot(addr).logical = mask_word(value)
+
+    def snapshot(self) -> Dict[int, StoredWord]:
+        """Copy the persistent state for crash-injection tests."""
+        return {
+            addr: StoredWord(s.logical, s.data_cells, s.tag_cells, s.encoded)
+            for addr, s in self._words.items()
+        }
+
+    def restore(self, snapshot: Dict[int, StoredWord]) -> None:
+        self._words = {
+            addr: StoredWord(s.logical, s.data_cells, s.tag_cells, s.encoded)
+            for addr, s in snapshot.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._words)

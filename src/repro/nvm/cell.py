@@ -1,0 +1,73 @@
+"""Per-cell TLC program cost with data-comparison write (DCW).
+
+DCW (Yang et al., ISCAS 2007) reads the old cell contents and programs only
+the cells whose target level differs.  Programming a TLC cell to level L
+costs the Table III latency/energy for L; the cells of one write program in
+parallel, so write latency is the *maximum* per-cell latency while energy
+is the *sum*.
+"""
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.config import NVMConfig
+
+
+@dataclass(frozen=True)
+class CellProgramCost:
+    """Cost of programming one group of cells under DCW."""
+
+    cells_programmed: int
+    latency_ns: float
+    energy_pj: float
+
+    def merged(self, other: "CellProgramCost") -> "CellProgramCost":
+        """Combine two groups programmed in parallel."""
+        return CellProgramCost(
+            cells_programmed=self.cells_programmed + other.cells_programmed,
+            latency_ns=max(self.latency_ns, other.latency_ns),
+            energy_pj=self.energy_pj + other.energy_pj,
+        )
+
+
+ZERO_COST = CellProgramCost(0, 0.0, 0.0)
+
+
+def _cost_tables(config: NVMConfig):
+    """Per-level latency/energy lookup lists, cached on the config object."""
+    tables = getattr(config, "_cost_tables_cache", None)
+    if tables is None:
+        latency = [config.write_latency_ns(level) for level in range(8)]
+        energy = [config.write_energy_pj(level) for level in range(8)]
+        tables = (latency, energy)
+        object.__setattr__(config, "_cost_tables_cache", tables)
+    return tables
+
+
+def program_cost(
+    old_levels: Sequence[int],
+    new_levels: Sequence[int],
+    config: NVMConfig,
+) -> CellProgramCost:
+    """DCW cost of moving cells from ``old_levels`` to ``new_levels``.
+
+    The sequences must be equal length; a *silent* write (identical levels)
+    programs zero cells and costs nothing.
+    """
+    if len(old_levels) != len(new_levels):
+        raise ValueError("old and new cell images differ in length")
+    if old_levels == new_levels:
+        return ZERO_COST
+    latency_table, energy_table = _cost_tables(config)
+    programmed = 0
+    latency = 0.0
+    energy = 0.0
+    for old, new in zip(old_levels, new_levels):
+        if old == new:
+            continue
+        programmed += 1
+        cell_latency = latency_table[new]
+        if cell_latency > latency:
+            latency = cell_latency
+        energy += energy_table[new]
+    return CellProgramCost(programmed, latency, energy)

@@ -1,0 +1,281 @@
+"""NVM module controller with the SLDE codec (paper Figure 10).
+
+The module sits between the memory bus and the NVMM array.  Its write path
+encodes incoming data — with the configured general-purpose codec for
+in-place data, and with SLDE (DLDC + alternative, least cost wins) for log
+data — then programs cells under DCW and books bank/queue timing.  The read
+path decodes stored words.
+
+Write requests and their sizes:
+
+- a *data line* write is one 64-byte request (8 words, each encoded
+  independently, programmed in parallel);
+- a *log entry* write is one request carrying the entry's metadata words
+  plus its undo/redo data words;
+- both count as one entry in the paper's "NVMM write traffic" metric.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.bitops import WORD_BYTES, WORDS_PER_LINE, mask_word
+from repro.common.config import EncodingConfig, NVMConfig
+from repro.common.stats import StatGroup
+from repro.encoding import make_codec
+from repro.encoding.base import EncodedWord, WordCodec
+from repro.encoding.slde import LogWriteContext, SldeCodec
+from repro.nvm.array import NvmArray, WriteCost
+from repro.nvm.timing import BankTiming, WriteSchedule
+
+
+class WriteKind(enum.Enum):
+    """What a write request carries, for traffic breakdown stats."""
+
+    DATA = "data"
+    LOG = "log"
+    COMMIT = "commit"
+
+
+@dataclass(frozen=True)
+class LogDataWord:
+    """One word of log data handed to the module for encoding.
+
+    ``context`` carries the dirty flag and old value the SLDE/DLDC path
+    needs; None means the producer has no dirty information (e.g. the FWB
+    baseline without SLDE) and the word takes the alternative codec path.
+    """
+
+    logical: int
+    context: Optional[LogWriteContext] = None
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """Outcome of one write request."""
+
+    schedule: WriteSchedule
+    cost: WriteCost
+    encoded_words: Tuple[EncodedWord, ...]
+
+
+class NvmModule:
+    """The NVMM module: codec + array + timing."""
+
+    def __init__(
+        self,
+        nvm_config: NVMConfig,
+        encoding_config: EncodingConfig,
+        stats: Optional[StatGroup] = None,
+        line_bytes: int = 64,
+    ) -> None:
+        self.stats = stats if stats is not None else StatGroup("nvm_module")
+        self.array = NvmArray(nvm_config, self.stats)
+        self.timing = BankTiming(nvm_config, self.stats, line_bytes)
+        self._nvm_config = nvm_config
+        self._encoding_config = encoding_config
+        self.data_codec: WordCodec = make_codec(
+            encoding_config.data_codec, encoding_config.expansion_enabled
+        )
+        self.log_codec: WordCodec = make_codec(
+            encoding_config.log_codec, encoding_config.expansion_enabled
+        )
+        # Secure-NVMM model (section IV-D).  Encryption only changes what
+        # the cells see (ciphertext entropy / dirtiness); the array keeps
+        # plaintext as the logical ground truth, so decode verification is
+        # disabled in secure modes.
+        self._secure = encoding_config.secure_mode
+        self._line_epoch: dict = {}
+
+    @staticmethod
+    def _cipher(addr: int, value: int, epoch: int = 0) -> int:
+        """A stand-in block cipher: a 64-bit mix of (addr, value, epoch)."""
+        x = (value ^ (addr * 0x9E3779B97F4A7C15) ^ (epoch * 0xBF58476D1CE4E5B9)) & ((1 << 64) - 1)
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & ((1 << 64) - 1)
+        return x ^ (x >> 31)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def _write_words(
+        self,
+        addr: int,
+        encoded: Sequence[EncodedWord],
+        logicals: Sequence[int],
+        now_ns: float,
+        kind: WriteKind,
+    ) -> WriteResult:
+        cost = WriteCost.zero()
+        for i, (enc, logical) in enumerate(zip(encoded, logicals)):
+            word_cost = self.array.write_word(addr + i * WORD_BYTES, enc, logical)
+            cost = cost.merged(word_cost)
+        if cost.silent:
+            # Nothing was programmed: the request is elided entirely.
+            schedule = WriteSchedule(accept_ns=now_ns, finish_ns=now_ns, stall_ns=0.0)
+            self.stats.add("silent_requests")
+        else:
+            schedule = self.timing.write(addr, now_ns, cost.latency_ns)
+            self.stats.add("%s_writes" % kind.value)
+            self.stats.add("%s_bits" % kind.value, cost.bits_written)
+            self.stats.add("%s_energy_pj" % kind.value, cost.energy_pj)
+        return WriteResult(schedule, cost, tuple(encoded))
+
+    def write_data_line(
+        self, addr: int, words: Sequence[int], now_ns: float
+    ) -> WriteResult:
+        """Write one in-place 64-byte cache line."""
+        if len(words) != WORDS_PER_LINE:
+            raise ValueError("a data line write carries exactly 8 words")
+        encoded = []
+        epoch = 0
+        if self._secure == "full":
+            # Naive encryption: the whole line re-encrypts with a new
+            # counter on every write — everything turns dirty.
+            epoch = self._line_epoch.get(addr, 0) + 1
+            self._line_epoch[addr] = epoch
+        for i, word in enumerate(words):
+            word_addr = addr + i * WORD_BYTES
+            old = self.array.read_logical(word_addr)
+            new = mask_word(word)
+            if self._secure == "none":
+                encoded.append(self.data_codec.encode(new, old))
+            elif self._secure == "deuce":
+                # DEUCE: only changed words are re-encrypted; the cipher
+                # text of an unchanged word stays put (DCW-silent).
+                encoded.append(self.data_codec.encode(self._cipher(word_addr, new)))
+            else:
+                encoded.append(
+                    self.data_codec.encode(self._cipher(word_addr, new, epoch))
+                )
+        return self._write_words(addr, encoded, [mask_word(w) for w in words], now_ns, WriteKind.DATA)
+
+    def encode_log_words(
+        self,
+        meta_words: Sequence[int],
+        undo: Optional[LogDataWord] = None,
+        redo: Optional[LogDataWord] = None,
+    ) -> Tuple[List[EncodedWord], List[int]]:
+        """Encode a log entry's words (metadata first, then undo, then redo).
+
+        Metadata words always take the alternative/general codec (Figure 4
+        compresses log metadata with FPC).  Undo+redo pairs respect the
+        never-both-DLDC rule via :meth:`SldeCodec.encode_undo_redo_pair`.
+        """
+        encoded: List[EncodedWord] = []
+        logicals: List[int] = []
+        for meta in meta_words:
+            encoded.append(self.data_codec.encode(mask_word(meta)))
+            logicals.append(mask_word(meta))
+
+        # The array keeps plaintext as the logical ground truth; secure
+        # modes only change what the cells (and costs) see.
+        plain = [item.logical if item is not None else None for item in (undo, redo)]
+        if self._secure != "none":
+            undo, redo = self._encrypt_log_words(undo, redo)
+
+        slde = self.log_codec if isinstance(self.log_codec, SldeCodec) else None
+        if undo is not None and redo is not None and slde is not None:
+            mask = 0xFF
+            if redo.context is not None:
+                mask = redo.context.dirty_mask
+            undo_enc, redo_enc = slde.encode_undo_redo_pair(
+                undo.logical, redo.logical, mask
+            )
+            encoded.extend([undo_enc, redo_enc])
+            logicals.extend([mask_word(plain[0]), mask_word(plain[1])])
+            return encoded, logicals
+
+        for item, plain_value in zip((undo, redo), plain):
+            if item is None:
+                continue
+            if slde is not None and item.context is not None:
+                encoded.append(slde.encode_log(item.logical, item.context))
+            else:
+                encoded.append(self.log_codec.encode(item.logical))
+            logicals.append(mask_word(plain_value))
+        return encoded, logicals
+
+    def _encrypt_log_words(self, undo, redo):
+        """Apply the secure-mode transform to a log entry's data words.
+
+        DEUCE keeps completely-clean words clean (silent log writes still
+        vanish) but a dirty word re-encrypts wholesale: all bytes dirty,
+        ciphertext incompressible.  Naive ("full") encryption dirties
+        everything unconditionally.
+        """
+        out = []
+        for item in (undo, redo):
+            if item is None:
+                out.append(None)
+                continue
+            ctx = item.context
+            if self._secure == "deuce" and ctx is not None and ctx.dirty_mask == 0:
+                out.append(item)  # clean word stays clean under DEUCE
+                continue
+            cipher = self._cipher(0, item.logical, 1)
+            new_ctx = None
+            if ctx is not None:
+                new_ctx = LogWriteContext(
+                    old_word=None, dirty_mask=0xFF, allow_dldc=ctx.allow_dldc
+                )
+            out.append(LogDataWord(cipher, new_ctx))
+        return out[0], out[1]
+
+    def write_log_entry(
+        self,
+        addr: int,
+        meta_words: Sequence[int],
+        now_ns: float,
+        undo: Optional[LogDataWord] = None,
+        redo: Optional[LogDataWord] = None,
+        kind: WriteKind = WriteKind.LOG,
+    ) -> WriteResult:
+        """Write one log entry (or commit record) to the log region."""
+        encoded, logicals = self.encode_log_words(meta_words, undo, redo)
+        return self._write_words(addr, encoded, logicals, now_ns, kind)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def read_line(self, addr: int, now_ns: float) -> Tuple[Tuple[int, ...], float]:
+        """Read a 64-byte line; returns (words, completion time)."""
+        finish = self.timing.read(addr, now_ns)
+        words = tuple(
+            self.array.read_logical(addr + i * WORD_BYTES)
+            for i in range(WORDS_PER_LINE)
+        )
+        return words, finish
+
+    def decode_word(self, addr: int, base_word: Optional[int] = None) -> int:
+        """Decode one stored word through the codec (exercised by recovery).
+
+        ``base_word`` supplies the clean bytes for DLDC-encoded log data.
+        Raises if the decoded value disagrees with the slot's logical value,
+        which would indicate a codec bug.  In secure modes the cells hold
+        ciphertext while the logical value stays plaintext, so decode
+        verification is skipped there.
+        """
+        slot = self.array.read_word(addr)
+        if slot.encoded is None or self._secure != "none":
+            return slot.logical
+        enc = slot.encoded
+        if enc.method == "dldc":
+            decoded = (
+                self.log_codec.decode(enc, base_word)
+                if isinstance(self.log_codec, SldeCodec)
+                else enc.payload
+            )
+        elif enc.method == self.data_codec.name:
+            decoded = self.data_codec.decode(enc, base_word)
+        elif isinstance(self.log_codec, SldeCodec):
+            decoded = self.log_codec.decode(enc, base_word)
+        else:
+            decoded = self.log_codec.decode(enc, base_word)
+        if decoded != slot.logical:
+            raise ValueError(
+                "decode mismatch at %#x: %#x != %#x" % (addr, decoded, slot.logical)
+            )
+        return decoded

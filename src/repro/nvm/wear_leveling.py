@@ -1,0 +1,90 @@
+"""Start-Gap wear leveling (Qureshi et al., MICRO 2009).
+
+The endurance argument of section VI-C assumes wear can be spread across
+the array; Start-Gap is the classic low-cost scheme that does it: the
+physical array keeps one spare line (the *gap*); every ``gap_interval``
+writes, the line just before the gap moves into it and the gap walks one
+slot backwards; when the gap reaches slot 0 it jumps back to the top and
+the ``start`` register advances, so over time every logical line rotates
+through every physical slot.
+
+Canonical mapping (N logical lines over N+1 physical slots)::
+
+    raw  = (logical + start) mod N          # in [0, N-1]
+    phys = raw + 1 if raw >= gap else raw   # skips the empty gap slot
+
+The remapper is address-translation only; the caller performs (and pays
+for) the gap-move copies it reports.
+"""
+
+from typing import Optional, Tuple
+
+from repro.common.stats import StatGroup
+
+LINE_BYTES = 64
+
+
+class StartGapRemapper:
+    """Logical-to-physical line remapping over a region of N lines."""
+
+    def __init__(
+        self,
+        base_addr: int,
+        n_lines: int,
+        gap_interval: int = 128,
+        stats: Optional[StatGroup] = None,
+    ) -> None:
+        if n_lines < 2:
+            raise ValueError("start-gap needs at least two lines")
+        if base_addr % LINE_BYTES:
+            raise ValueError("region base must be line aligned")
+        self.base_addr = base_addr
+        self.n_lines = n_lines          # logical lines (N)
+        self.n_physical = n_lines + 1   # one spare (the gap)
+        self.gap_interval = gap_interval
+        self.stats = stats if stats is not None else StatGroup("start_gap")
+        self.gap = n_lines              # empty physical slot, starts at N
+        self.start = 0
+        self._writes_since_move = 0
+
+    def contains(self, addr: int) -> bool:
+        return self.base_addr <= addr < self.base_addr + self.n_lines * LINE_BYTES
+
+    def physical_line(self, logical_line: int) -> int:
+        """Map a logical line index to its physical slot."""
+        if not 0 <= logical_line < self.n_lines:
+            raise ValueError("logical line out of range")
+        raw = (logical_line + self.start) % self.n_lines
+        return raw + 1 if raw >= self.gap else raw
+
+    def remap(self, addr: int) -> int:
+        """Translate a byte address (must be inside the region)."""
+        offset = addr - self.base_addr
+        logical_line, within = divmod(offset, LINE_BYTES)
+        physical = self.physical_line(logical_line)
+        return self.base_addr + physical * LINE_BYTES + within
+
+    def on_write(self) -> Optional[Tuple[int, int]]:
+        """Count one line write; returns a (src, dst) copy when a gap move
+        is due (physical byte addresses).  The caller performs the copy —
+        it is a real write and wears the destination like any other.
+        """
+        self._writes_since_move += 1
+        if self._writes_since_move < self.gap_interval:
+            return None
+        self._writes_since_move = 0
+        self.stats.add("gap_moves")
+        if self.gap > 0:
+            src, dst = self.gap - 1, self.gap
+            self.gap -= 1
+        else:
+            # Gap wrapped: slot N's line slides into slot 0 and the start
+            # register advances one position.
+            src, dst = self.n_lines, 0
+            self.gap = self.n_lines
+            self.start = (self.start + 1) % self.n_lines
+            self.stats.add("rotations")
+        return (
+            self.base_addr + src * LINE_BYTES,
+            self.base_addr + dst * LINE_BYTES,
+        )

@@ -1,0 +1,284 @@
+"""Persistent B-tree (micro-benchmark ``BTree``).
+
+Node layout in NVMM (``item_words`` = 8 for the small dataset, 512 for the
+large one):
+
+====== ==========================================
+word   contents
+====== ==========================================
+0      header: ``leaf << 32 | n_keys``
+1..k   keys (k = max keys = (item_words - 2) // 2)
+k+1..  children (k + 1 pointers)
+====== ==========================================
+
+Insertion uses single-pass preemptive splitting (CLRS); deletion removes
+from the leaf (replacing internal keys with their predecessor) without
+rebalancing — the tree stays a valid search tree, nodes may underflow.
+Transactions perform one insert or one delete of a uniformly random key,
+as in the paper's micro-benchmarks.
+"""
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.common.bitops import WORD_BYTES
+from repro.heap.allocator import PersistentHeap
+from repro.workloads.base import SetupContext, Workload
+
+
+class PersistentBTree:
+    """A B-tree stored in simulated NVMM, accessed through a context."""
+
+    def __init__(self, heap: PersistentHeap, item_words: int) -> None:
+        if item_words < 8:
+            raise ValueError("B-tree nodes need at least 8 words")
+        self.heap = heap
+        self.node_words = item_words
+        self.max_keys = (item_words - 2) // 2
+        self.min_degree = (self.max_keys + 1) // 2
+        self.root_ptr = heap.pmalloc(WORD_BYTES)
+
+    # -- node field helpers --------------------------------------------
+
+    def _header(self, ctx, node: int) -> Tuple[bool, int]:
+        header = ctx.load(node)
+        return bool(header >> 32), header & 0xFFFF_FFFF
+
+    def _set_header(self, ctx, node: int, leaf: bool, n: int) -> None:
+        ctx.store(node, (int(leaf) << 32) | n)
+
+    def _key(self, ctx, node: int, i: int) -> int:
+        return ctx.load(node + (1 + i) * WORD_BYTES)
+
+    def _set_key(self, ctx, node: int, i: int, key: int) -> None:
+        ctx.store(node + (1 + i) * WORD_BYTES, key)
+
+    def _child(self, ctx, node: int, i: int) -> int:
+        return ctx.load(node + (1 + self.max_keys + i) * WORD_BYTES)
+
+    def _set_child(self, ctx, node: int, i: int, child: int) -> None:
+        ctx.store(node + (1 + self.max_keys + i) * WORD_BYTES, child)
+
+    def _alloc_node(self, ctx, leaf: bool) -> int:
+        node = self.heap.pmalloc(self.node_words * WORD_BYTES)
+        self._set_header(ctx, node, leaf, 0)
+        return node
+
+    # -- lifecycle -------------------------------------------------------
+
+    def create(self, ctx) -> None:
+        root = self._alloc_node(ctx, leaf=True)
+        ctx.store(self.root_ptr, root)
+
+    def _root(self, ctx) -> int:
+        return ctx.load(self.root_ptr)
+
+    # -- search ----------------------------------------------------------
+
+    def search(self, ctx, key: int) -> bool:
+        node = self._root(ctx)
+        while True:
+            leaf, n = self._header(ctx, node)
+            i = 0
+            while i < n and key > self._key(ctx, node, i):
+                i += 1
+            if i < n and self._key(ctx, node, i) == key:
+                return True
+            if leaf:
+                return False
+            node = self._child(ctx, node, i)
+
+    # -- insert ------------------------------------------------------------
+
+    def _split_child(self, ctx, parent: int, index: int, child: int) -> None:
+        """Split a full ``child`` of ``parent`` around its median key."""
+        leaf, n = self._header(ctx, child)
+        mid = n // 2
+        median = self._key(ctx, child, mid)
+        right = self._alloc_node(ctx, leaf)
+        right_n = n - mid - 1
+        for i in range(right_n):
+            self._set_key(ctx, right, i, self._key(ctx, child, mid + 1 + i))
+        if not leaf:
+            for i in range(right_n + 1):
+                self._set_child(ctx, right, i, self._child(ctx, child, mid + 1 + i))
+        self._set_header(ctx, right, leaf, right_n)
+        self._set_header(ctx, child, leaf, mid)
+        _pleaf, pn = self._header(ctx, parent)
+        for i in range(pn, index, -1):
+            self._set_key(ctx, parent, i, self._key(ctx, parent, i - 1))
+            self._set_child(ctx, parent, i + 1, self._child(ctx, parent, i))
+        self._set_key(ctx, parent, index, median)
+        self._set_child(ctx, parent, index + 1, right)
+        self._set_header(ctx, parent, False, pn + 1)
+
+    def insert(self, ctx, key: int) -> None:
+        root = self._root(ctx)
+        _leaf, n = self._header(ctx, root)
+        if n == self.max_keys:
+            new_root = self._alloc_node(ctx, leaf=False)
+            self._set_child(ctx, new_root, 0, root)
+            self._split_child(ctx, new_root, 0, root)
+            ctx.store(self.root_ptr, new_root)
+            root = new_root
+        self._insert_nonfull(ctx, root, key)
+
+    def _insert_nonfull(self, ctx, node: int, key: int) -> None:
+        while True:
+            leaf, n = self._header(ctx, node)
+            if leaf:
+                i = n - 1
+                while i >= 0 and key < self._key(ctx, node, i):
+                    self._set_key(ctx, node, i + 1, self._key(ctx, node, i))
+                    i -= 1
+                self._set_key(ctx, node, i + 1, key)
+                self._set_header(ctx, node, True, n + 1)
+                return
+            i = 0
+            while i < n and key > self._key(ctx, node, i):
+                i += 1
+            child = self._child(ctx, node, i)
+            _cleaf, cn = self._header(ctx, child)
+            if cn == self.max_keys:
+                self._split_child(ctx, node, i, child)
+                if key > self._key(ctx, node, i):
+                    i += 1
+                child = self._child(ctx, node, i)
+            node = child
+
+    # -- delete (exact multiset semantics, no rebalance) -------------------
+
+    def delete(self, ctx, key: int) -> bool:
+        """Remove one occurrence of ``key``; returns True when found.
+
+        Internal hits are replaced with the predecessor (or successor)
+        pulled from an adjacent subtree; nodes are allowed to underflow,
+        which keeps the structure a valid search tree without the full
+        CLRS rebalancing machinery (documented simplification).
+        """
+        node = self._root(ctx)
+        while True:
+            leaf, n = self._header(ctx, node)
+            i = 0
+            while i < n and key > self._key(ctx, node, i):
+                i += 1
+            if i < n and self._key(ctx, node, i) == key:
+                if leaf:
+                    self._remove_from_leaf(ctx, node, i, n)
+                else:
+                    self._remove_internal(ctx, node, i, n)
+                return True
+            if leaf:
+                return False
+            node = self._child(ctx, node, i)
+
+    def _remove_from_leaf(self, ctx, node: int, index: int, n: int) -> None:
+        for i in range(index, n - 1):
+            self._set_key(ctx, node, i, self._key(ctx, node, i + 1))
+        self._set_header(ctx, node, True, n - 1)
+
+    def _remove_internal(self, ctx, node: int, index: int, n: int) -> None:
+        predecessor = self._take_max(ctx, self._child(ctx, node, index))
+        if predecessor is not None:
+            self._set_key(ctx, node, index, predecessor)
+            return
+        successor = self._take_min(ctx, self._child(ctx, node, index + 1))
+        if successor is not None:
+            self._set_key(ctx, node, index, successor)
+            return
+        # Both adjacent subtrees are empty: drop the key and the (empty)
+        # right child, shifting the remainder left.
+        for i in range(index, n - 1):
+            self._set_key(ctx, node, i, self._key(ctx, node, i + 1))
+        for i in range(index + 1, n):
+            self._set_child(ctx, node, i, self._child(ctx, node, i + 1))
+        self._set_header(ctx, node, False, n - 1)
+
+    def _take_max(self, ctx, node: int) -> Optional[int]:
+        """Remove and return the largest key of a subtree (None if empty)."""
+        leaf, n = self._header(ctx, node)
+        if leaf:
+            if n == 0:
+                return None
+            key = self._key(ctx, node, n - 1)
+            self._set_header(ctx, node, True, n - 1)
+            return key
+        taken = self._take_max(ctx, self._child(ctx, node, n))
+        if taken is not None:
+            return taken
+        if n == 0:
+            return None
+        # The rightmost child is empty: this node's last key is the max;
+        # dropping it also drops the empty child, keeping n+1 children.
+        key = self._key(ctx, node, n - 1)
+        self._set_header(ctx, node, False, n - 1)
+        return key
+
+    def _take_min(self, ctx, node: int) -> Optional[int]:
+        """Remove and return the smallest key of a subtree (None if empty)."""
+        leaf, n = self._header(ctx, node)
+        if leaf:
+            if n == 0:
+                return None
+            key = self._key(ctx, node, 0)
+            self._remove_from_leaf(ctx, node, 0, n)
+            return key
+        taken = self._take_min(ctx, self._child(ctx, node, 0))
+        if taken is not None:
+            return taken
+        if n == 0:
+            return None
+        key = self._key(ctx, node, 0)
+        for i in range(n - 1):
+            self._set_key(ctx, node, i, self._key(ctx, node, i + 1))
+        for i in range(n):
+            self._set_child(ctx, node, i, self._child(ctx, node, i + 1))
+        self._set_header(ctx, node, False, n - 1)
+        return key
+
+    # -- iteration (tests / oracles) --------------------------------------
+
+    def items(self, ctx) -> Iterator[int]:
+        def walk(node: int) -> Iterator[int]:
+            leaf, n = self._header(ctx, node)
+            for i in range(n):
+                if not leaf:
+                    yield from walk(self._child(ctx, node, i))
+                yield self._key(ctx, node, i)
+            if not leaf:
+                yield from walk(self._child(ctx, node, n))
+
+        yield from walk(self._root(ctx))
+
+
+class BTreeWorkload(Workload):
+    """Insert/delete nodes in a B-tree (Table IV)."""
+
+    name = "btree"
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.trees: List[Optional[PersistentBTree]] = []
+
+    def setup_shard(self, ctx: SetupContext, tid: int) -> None:
+        while len(self.trees) <= tid:
+            self.trees.append(None)
+        tree = PersistentBTree(self.heap, self.params.dataset.item_words)
+        tree.create(ctx)
+        rng = self.rngs[tid]
+        for _ in range(self.params.initial_items):
+            tree.insert(ctx, rng.randrange(1, self.params.key_space))
+        self.trees[tid] = tree
+
+    def transaction(self, tid: int) -> Callable:
+        rng = self.rngs[tid]
+        tree = self.trees[tid]
+        key = rng.randrange(1, self.params.key_space)
+        insert = rng.random() < 0.6
+
+        def body(ctx):
+            if insert:
+                tree.insert(ctx, key)
+            else:
+                tree.delete(ctx, key)
+
+        return body

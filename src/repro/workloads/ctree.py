@@ -1,0 +1,194 @@
+"""Persistent crit-bit tree (WHISPER's ``ctree``).
+
+A binary trie over 64-bit keys: internal nodes test one bit, leaves hold
+a key plus payload.  Node layout (``item_words``):
+
+- internal: ``[1, crit_bit, left, right, pad...]``
+- leaf:     ``[0, key, value...]``
+
+Insert walks to the best leaf, finds the highest differing bit, and
+splices an internal node; delete removes the leaf and splices its parent
+out — both touch a short pointer chain, the pattern WHISPER's ctree
+exhibits.
+"""
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.common.bitops import WORD_BYTES
+from repro.heap.allocator import PersistentHeap
+from repro.workloads.base import SetupContext, Workload
+
+INTERNAL = 1
+LEAF = 0
+
+
+class PersistentCritBitTree:
+    """Crit-bit trie in simulated NVMM."""
+
+    def __init__(self, heap: PersistentHeap, item_words: int) -> None:
+        if item_words < 4:
+            raise ValueError("crit-bit nodes need at least 4 words")
+        self.heap = heap
+        self.node_words = item_words
+        self.value_words = item_words - 2
+        self.root_ptr = heap.pmalloc(WORD_BYTES)
+
+    def create(self, ctx) -> None:
+        ctx.store(self.root_ptr, 0)
+
+    # -- node accessors ---------------------------------------------------
+
+    def _kind(self, ctx, node: int) -> int:
+        return ctx.load(node)
+
+    def _crit_bit(self, ctx, node: int) -> int:
+        return ctx.load(node + WORD_BYTES)
+
+    def _child(self, ctx, node: int, side: int) -> int:
+        return ctx.load(node + (2 + side) * WORD_BYTES)
+
+    def _set_child(self, ctx, node: int, side: int, child: int) -> None:
+        ctx.store(node + (2 + side) * WORD_BYTES, child)
+
+    def _leaf_key(self, ctx, node: int) -> int:
+        return ctx.load(node + WORD_BYTES)
+
+    def _alloc_leaf(self, ctx, key: int, values: List[int]) -> int:
+        node = self.heap.pmalloc(self.node_words * WORD_BYTES)
+        ctx.store(node, LEAF)
+        ctx.store(node + WORD_BYTES, key)
+        for i, value in enumerate(values):
+            ctx.store(node + (2 + i) * WORD_BYTES, value)
+        return node
+
+    def _alloc_internal(self, ctx, crit_bit: int, left: int, right: int) -> int:
+        node = self.heap.pmalloc(self.node_words * WORD_BYTES)
+        ctx.store(node, INTERNAL)
+        ctx.store(node + WORD_BYTES, crit_bit)
+        self._set_child(ctx, node, 0, left)
+        self._set_child(ctx, node, 1, right)
+        return node
+
+    @staticmethod
+    def _direction(key: int, crit_bit: int) -> int:
+        return (key >> crit_bit) & 1
+
+    # -- operations ---------------------------------------------------------
+
+    def _walk_to_leaf(self, ctx, key: int) -> Tuple[int, List[Tuple[int, int]]]:
+        """Returns (leaf, path) with path = [(internal node, side), ...]."""
+        node = ctx.load(self.root_ptr)
+        path: List[Tuple[int, int]] = []
+        while node and self._kind(ctx, node) == INTERNAL:
+            side = self._direction(key, self._crit_bit(ctx, node))
+            path.append((node, side))
+            node = self._child(ctx, node, side)
+        return node, path
+
+    def lookup(self, ctx, key: int) -> Optional[int]:
+        leaf, _path = self._walk_to_leaf(ctx, key)
+        if leaf and self._leaf_key(ctx, leaf) == key:
+            return leaf
+        return None
+
+    def insert(self, ctx, key: int, values: List[int]) -> int:
+        if len(values) != self.value_words:
+            raise ValueError("expected %d value words" % self.value_words)
+        leaf, _path = self._walk_to_leaf(ctx, key)
+        if not leaf:
+            fresh = self._alloc_leaf(ctx, key, values)
+            ctx.store(self.root_ptr, fresh)
+            return fresh
+        existing = self._leaf_key(ctx, leaf)
+        if existing == key:
+            for i, value in enumerate(values):
+                ctx.store(leaf + (2 + i) * WORD_BYTES, value)
+            return leaf
+        crit_bit = (existing ^ key).bit_length() - 1
+        fresh = self._alloc_leaf(ctx, key, values)
+        # Re-walk, stopping where the new critical bit belongs (crit-bit
+        # invariant: bits decrease along any root-to-leaf path).
+        node = ctx.load(self.root_ptr)
+        parent, parent_side = 0, 0
+        while (
+            node
+            and self._kind(ctx, node) == INTERNAL
+            and self._crit_bit(ctx, node) > crit_bit
+        ):
+            parent = node
+            parent_side = self._direction(key, self._crit_bit(ctx, node))
+            node = self._child(ctx, node, parent_side)
+        side = self._direction(key, crit_bit)
+        children = [node, fresh] if side == 1 else [fresh, node]
+        internal = self._alloc_internal(ctx, crit_bit, children[0], children[1])
+        if parent:
+            self._set_child(ctx, parent, parent_side, internal)
+        else:
+            ctx.store(self.root_ptr, internal)
+        return fresh
+
+    def delete(self, ctx, key: int) -> bool:
+        leaf, path = self._walk_to_leaf(ctx, key)
+        if not leaf or self._leaf_key(ctx, leaf) != key:
+            return False
+        if not path:
+            ctx.store(self.root_ptr, 0)
+        else:
+            parent, side = path[-1]
+            sibling = self._child(ctx, parent, 1 - side)
+            if len(path) >= 2:
+                grand, grand_side = path[-2]
+                self._set_child(ctx, grand, grand_side, sibling)
+            else:
+                ctx.store(self.root_ptr, sibling)
+            self.heap.pfree(parent)
+        self.heap.pfree(leaf)
+        return True
+
+    def items(self, ctx) -> Iterator[int]:
+        def walk(node: int) -> Iterator[int]:
+            if not node:
+                return
+            if self._kind(ctx, node) == LEAF:
+                yield self._leaf_key(ctx, node)
+            else:
+                yield from walk(self._child(ctx, node, 0))
+                yield from walk(self._child(ctx, node, 1))
+
+        yield from walk(ctx.load(self.root_ptr))
+
+
+class CTreeWorkload(Workload):
+    """Insert/delete in a crit-bit tree (WHISPER ctree equivalent)."""
+
+    name = "ctree"
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.trees: List[Optional[PersistentCritBitTree]] = []
+
+    def setup_shard(self, ctx: SetupContext, tid: int) -> None:
+        while len(self.trees) <= tid:
+            self.trees.append(None)
+        tree = PersistentCritBitTree(self.heap, self.params.dataset.item_words)
+        tree.create(ctx)
+        rng = self.rngs[tid]
+        for _ in range(self.params.initial_items):
+            key = rng.randrange(1, self.params.key_space)
+            tree.insert(ctx, key, self.value_words(rng, tree.value_words))
+        self.trees[tid] = tree
+
+    def transaction(self, tid: int) -> Callable:
+        rng = self.rngs[tid]
+        tree = self.trees[tid]
+        key = rng.randrange(1, self.params.key_space)
+        if rng.random() < 0.6:
+            values = self.value_words(rng, tree.value_words)
+
+            def body(ctx):
+                tree.insert(ctx, key, values)
+        else:
+            def body(ctx):
+                tree.delete(ctx, key)
+
+        return body

@@ -1,0 +1,139 @@
+"""Persistent chained hash table (micro-benchmark ``Hash``).
+
+Layout: a bucket array of head pointers plus chained nodes.  Node layout
+(``item_words`` words): ``[key, next, value...]``.  Transactions insert a
+key (allocating or updating the node and rewriting its value words) or
+delete one (unlinking and freeing the node).
+"""
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.common.bitops import WORD_BYTES
+from repro.heap.allocator import PersistentHeap
+from repro.workloads.base import SetupContext, Workload
+
+
+class PersistentHashMap:
+    """Chained hash map in simulated NVMM."""
+
+    def __init__(self, heap: PersistentHeap, item_words: int, n_buckets: int = 256) -> None:
+        if item_words < 3:
+            raise ValueError("hash nodes need at least 3 words")
+        self.heap = heap
+        self.node_words = item_words
+        self.value_words = item_words - 2
+        self.n_buckets = n_buckets
+        self.buckets = heap.pmalloc(n_buckets * WORD_BYTES)
+
+    def create(self, ctx) -> None:
+        for i in range(self.n_buckets):
+            ctx.store(self.buckets + i * WORD_BYTES, 0)
+
+    def _bucket_addr(self, key: int) -> int:
+        # Multiplicative hashing keeps buckets balanced for sequential keys.
+        index = (key * 0x9E3779B97F4A7C15 >> 32) % self.n_buckets
+        return self.buckets + index * WORD_BYTES
+
+    # -- node fields ----------------------------------------------------
+
+    def _key(self, ctx, node: int) -> int:
+        return ctx.load(node)
+
+    def _next(self, ctx, node: int) -> int:
+        return ctx.load(node + WORD_BYTES)
+
+    def _set_next(self, ctx, node: int, nxt: int) -> None:
+        ctx.store(node + WORD_BYTES, nxt)
+
+    def value_addr(self, node: int, i: int = 0) -> int:
+        return node + (2 + i) * WORD_BYTES
+
+    # -- operations -------------------------------------------------------
+
+    def lookup(self, ctx, key: int) -> Optional[int]:
+        """Return the node address for ``key``, or None."""
+        node = ctx.load(self._bucket_addr(key))
+        while node:
+            if self._key(ctx, node) == key:
+                return node
+            node = self._next(ctx, node)
+        return None
+
+    def insert(self, ctx, key: int, values: List[int]) -> int:
+        """Insert or update; returns the node address."""
+        if len(values) != self.value_words:
+            raise ValueError("expected %d value words" % self.value_words)
+        node = self.lookup(ctx, key)
+        if node is None:
+            node = self.heap.pmalloc(self.node_words * WORD_BYTES)
+            bucket = self._bucket_addr(key)
+            head = ctx.load(bucket)
+            ctx.store(node, key)
+            self._set_next(ctx, node, head)
+            ctx.store(bucket, node)
+        for i, value in enumerate(values):
+            ctx.store(self.value_addr(node, i), value)
+        return node
+
+    def delete(self, ctx, key: int) -> bool:
+        bucket = self._bucket_addr(key)
+        node = ctx.load(bucket)
+        prev = None
+        while node:
+            if self._key(ctx, node) == key:
+                nxt = self._next(ctx, node)
+                if prev is None:
+                    ctx.store(bucket, nxt)
+                else:
+                    self._set_next(ctx, prev, nxt)
+                self.heap.pfree(node)
+                return True
+            prev, node = node, self._next(ctx, node)
+        return False
+
+    def items(self, ctx) -> Iterator[Tuple[int, List[int]]]:
+        for i in range(self.n_buckets):
+            node = ctx.load(self.buckets + i * WORD_BYTES)
+            while node:
+                values = [
+                    ctx.load(self.value_addr(node, j))
+                    for j in range(self.value_words)
+                ]
+                yield self._key(ctx, node), values
+                node = self._next(ctx, node)
+
+
+class HashMapWorkload(Workload):
+    """Insert/delete entries in a hash table (Table IV)."""
+
+    name = "hash"
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.maps: List[Optional[PersistentHashMap]] = []
+
+    def setup_shard(self, ctx: SetupContext, tid: int) -> None:
+        while len(self.maps) <= tid:
+            self.maps.append(None)
+        table = PersistentHashMap(self.heap, self.params.dataset.item_words)
+        table.create(ctx)
+        rng = self.rngs[tid]
+        for _ in range(self.params.initial_items):
+            key = rng.randrange(1, self.params.key_space)
+            table.insert(ctx, key, self.value_words(rng, table.value_words))
+        self.maps[tid] = table
+
+    def transaction(self, tid: int) -> Callable:
+        rng = self.rngs[tid]
+        table = self.maps[tid]
+        key = rng.randrange(1, self.params.key_space)
+        if rng.random() < 0.6:
+            values = self.value_words(rng, table.value_words)
+
+            def body(ctx):
+                table.insert(ctx, key, values)
+        else:
+            def body(ctx):
+                table.delete(ctx, key)
+
+        return body

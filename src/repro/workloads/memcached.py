@@ -1,0 +1,217 @@
+"""Memcached-style LRU cache (WHISPER ``memcached`` equivalent).
+
+A bounded hash-indexed cache with an intrusive doubly-linked LRU list.
+``set`` inserts/updates an item and evicts the tail when the cache is at
+capacity; ``get`` promotes the item to the LRU head.  The promotions are
+pure pointer surgery on hot list heads — exactly the metadata-rewrite
+pattern that gives memcached its high Figure 3 rewrite rate.
+
+Item layout (``item_words``): ``[key, hash_next, lru_prev, lru_next,
+value...]``.  Header block: ``[lru_head, lru_tail, count]``.
+"""
+
+from typing import Callable, Iterator, List, Optional
+
+from repro.common.bitops import WORD_BYTES
+from repro.heap.allocator import PersistentHeap
+from repro.workloads.base import SetupContext, Workload
+
+
+class PersistentLruCache:
+    """Bounded LRU cache in simulated NVMM."""
+
+    def __init__(
+        self,
+        heap: PersistentHeap,
+        item_words: int,
+        capacity: int,
+        n_buckets: int = 128,
+    ) -> None:
+        if item_words < 5:
+            raise ValueError("cache items need at least 5 words")
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        self.heap = heap
+        self.node_words = item_words
+        self.value_words = item_words - 4
+        self.capacity = capacity
+        self.n_buckets = n_buckets
+        self.buckets = heap.pmalloc(n_buckets * WORD_BYTES)
+        self.header = heap.pmalloc(3 * WORD_BYTES)
+
+    def create(self, ctx) -> None:
+        for i in range(self.n_buckets):
+            ctx.store(self.buckets + i * WORD_BYTES, 0)
+        ctx.store_words(self.header, [0, 0, 0])
+
+    # -- field helpers ----------------------------------------------------
+
+    def _bucket(self, key: int) -> int:
+        return self.buckets + (
+            (key * 0x9E3779B97F4A7C15 >> 40) % self.n_buckets
+        ) * WORD_BYTES
+
+    def _key(self, ctx, node):
+        return ctx.load(node)
+
+    def _hash_next(self, ctx, node):
+        return ctx.load(node + WORD_BYTES)
+
+    def _prev(self, ctx, node):
+        return ctx.load(node + 2 * WORD_BYTES)
+
+    def _next(self, ctx, node):
+        return ctx.load(node + 3 * WORD_BYTES)
+
+    def value_addr(self, node: int, i: int = 0) -> int:
+        return node + (4 + i) * WORD_BYTES
+
+    def count(self, ctx) -> int:
+        return ctx.load(self.header + 2 * WORD_BYTES)
+
+    # -- LRU list surgery ---------------------------------------------------
+
+    def _unlink_lru(self, ctx, node: int) -> None:
+        prev, nxt = self._prev(ctx, node), self._next(ctx, node)
+        if prev:
+            ctx.store(prev + 3 * WORD_BYTES, nxt)
+        else:
+            ctx.store(self.header, nxt)
+        if nxt:
+            ctx.store(nxt + 2 * WORD_BYTES, prev)
+        else:
+            ctx.store(self.header + WORD_BYTES, prev)
+
+    def _push_front(self, ctx, node: int) -> None:
+        head = ctx.load(self.header)
+        ctx.store(node + 2 * WORD_BYTES, 0)
+        ctx.store(node + 3 * WORD_BYTES, head)
+        if head:
+            ctx.store(head + 2 * WORD_BYTES, node)
+        else:
+            ctx.store(self.header + WORD_BYTES, node)
+        ctx.store(self.header, node)
+
+    def _promote(self, ctx, node: int) -> None:
+        if ctx.load(self.header) == node:
+            return
+        self._unlink_lru(ctx, node)
+        self._push_front(ctx, node)
+
+    # -- hash chain surgery ----------------------------------------------------
+
+    def _hash_lookup(self, ctx, key: int) -> Optional[int]:
+        node = ctx.load(self._bucket(key))
+        while node:
+            if self._key(ctx, node) == key:
+                return node
+            node = self._hash_next(ctx, node)
+        return None
+
+    def _hash_unlink(self, ctx, node: int) -> None:
+        key = self._key(ctx, node)
+        bucket = self._bucket(key)
+        cursor = ctx.load(bucket)
+        prev = None
+        while cursor:
+            if cursor == node:
+                nxt = self._hash_next(ctx, cursor)
+                if prev is None:
+                    ctx.store(bucket, nxt)
+                else:
+                    ctx.store(prev + WORD_BYTES, nxt)
+                return
+            prev, cursor = cursor, self._hash_next(ctx, cursor)
+
+    # -- public operations -------------------------------------------------------
+
+    def get(self, ctx, key: int) -> Optional[List[int]]:
+        node = self._hash_lookup(ctx, key)
+        if node is None:
+            return None
+        self._promote(ctx, node)
+        return [ctx.load(self.value_addr(node, i)) for i in range(self.value_words)]
+
+    def set(self, ctx, key: int, values: List[int]) -> int:
+        if len(values) != self.value_words:
+            raise ValueError("expected %d value words" % self.value_words)
+        node = self._hash_lookup(ctx, key)
+        if node is not None:
+            for i, value in enumerate(values):
+                ctx.store(self.value_addr(node, i), value)
+            self._promote(ctx, node)
+            return node
+        if self.count(ctx) >= self.capacity:
+            self._evict_tail(ctx)
+        node = self.heap.pmalloc(self.node_words * WORD_BYTES)
+        ctx.store(node, key)
+        bucket = self._bucket(key)
+        ctx.store(node + WORD_BYTES, ctx.load(bucket))
+        ctx.store(bucket, node)
+        for i, value in enumerate(values):
+            ctx.store(self.value_addr(node, i), value)
+        self._push_front(ctx, node)
+        ctx.store(self.header + 2 * WORD_BYTES, self.count(ctx) + 1)
+        return node
+
+    def _evict_tail(self, ctx) -> None:
+        tail = ctx.load(self.header + WORD_BYTES)
+        if not tail:
+            return
+        self._unlink_lru(ctx, tail)
+        self._hash_unlink(ctx, tail)
+        ctx.store(self.header + 2 * WORD_BYTES, self.count(ctx) - 1)
+        self.heap.pfree(tail)
+
+    def keys_lru_order(self, ctx) -> Iterator[int]:
+        node = ctx.load(self.header)
+        while node:
+            yield self._key(ctx, node)
+            node = self._next(ctx, node)
+
+
+class MemcachedWorkload(Workload):
+    """LRU cache gets/sets (WHISPER memcached equivalent)."""
+
+    name = "memcached"
+    GET_FRACTION = 0.7
+    OPS_PER_TX = 6
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.caches: List[Optional[PersistentLruCache]] = []
+
+    def setup_shard(self, ctx: SetupContext, tid: int) -> None:
+        while len(self.caches) <= tid:
+            self.caches.append(None)
+        cache = PersistentLruCache(
+            self.heap,
+            self.params.dataset.item_words,
+            capacity=max(self.params.initial_items, 2),
+        )
+        cache.create(ctx)
+        rng = self.rngs[tid]
+        for _ in range(self.params.initial_items):
+            key = rng.randrange(1, self.params.key_space)
+            cache.set(ctx, key, self.value_words(rng, cache.value_words))
+        self.caches[tid] = cache
+
+    def transaction(self, tid: int) -> Callable:
+        rng = self.rngs[tid]
+        cache = self.caches[tid]
+        ops = []
+        for _ in range(self.OPS_PER_TX):
+            key = rng.randrange(1, self.params.key_space)
+            if rng.random() < self.GET_FRACTION:
+                ops.append((key, None))
+            else:
+                ops.append((key, self.value_words(rng, cache.value_words)))
+
+        def body(ctx):
+            for key, values in ops:
+                if values is None:
+                    cache.get(ctx, key)
+                else:
+                    cache.set(ctx, key, values)
+
+        return body

@@ -1,0 +1,110 @@
+"""Persistent linked-list queue (micro-benchmark ``Queue``).
+
+Header block: ``[head, tail, length]``.  Node layout: ``[next, value...]``.
+Transactions enqueue a fresh entry at the tail or dequeue from the head —
+the enqueue/dequeue mix keeps the queue near its initial length.
+"""
+
+from typing import Callable, Iterator, List, Optional
+
+from repro.common.bitops import WORD_BYTES
+from repro.heap.allocator import PersistentHeap
+from repro.workloads.base import SetupContext, Workload
+
+
+class PersistentQueue:
+    """FIFO queue of fixed-size entries in simulated NVMM."""
+
+    def __init__(self, heap: PersistentHeap, item_words: int) -> None:
+        if item_words < 2:
+            raise ValueError("queue nodes need at least 2 words")
+        self.heap = heap
+        self.node_words = item_words
+        self.value_words = item_words - 1
+        self.header = heap.pmalloc(3 * WORD_BYTES)
+
+    def create(self, ctx) -> None:
+        ctx.store_words(self.header, [0, 0, 0])
+
+    def _head(self, ctx) -> int:
+        return ctx.load(self.header)
+
+    def _tail(self, ctx) -> int:
+        return ctx.load(self.header + WORD_BYTES)
+
+    def length(self, ctx) -> int:
+        return ctx.load(self.header + 2 * WORD_BYTES)
+
+    def enqueue(self, ctx, values: List[int]) -> int:
+        if len(values) != self.value_words:
+            raise ValueError("expected %d value words" % self.value_words)
+        node = self.heap.pmalloc(self.node_words * WORD_BYTES)
+        ctx.store(node, 0)  # next
+        for i, value in enumerate(values):
+            ctx.store(node + (1 + i) * WORD_BYTES, value)
+        tail = self._tail(ctx)
+        if tail:
+            ctx.store(tail, node)
+        else:
+            ctx.store(self.header, node)
+        ctx.store(self.header + WORD_BYTES, node)
+        ctx.store(self.header + 2 * WORD_BYTES, self.length(ctx) + 1)
+        return node
+
+    def dequeue(self, ctx) -> Optional[List[int]]:
+        head = self._head(ctx)
+        if not head:
+            return None
+        values = [
+            ctx.load(head + (1 + i) * WORD_BYTES) for i in range(self.value_words)
+        ]
+        nxt = ctx.load(head)
+        ctx.store(self.header, nxt)
+        if not nxt:
+            ctx.store(self.header + WORD_BYTES, 0)
+        ctx.store(self.header + 2 * WORD_BYTES, self.length(ctx) - 1)
+        self.heap.pfree(head)
+        return values
+
+    def items(self, ctx) -> Iterator[List[int]]:
+        node = self._head(ctx)
+        while node:
+            yield [
+                ctx.load(node + (1 + i) * WORD_BYTES)
+                for i in range(self.value_words)
+            ]
+            node = ctx.load(node)
+
+
+class QueueWorkload(Workload):
+    """Insert/delete entries in a queue (Table IV)."""
+
+    name = "queue"
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.queues: List[Optional[PersistentQueue]] = []
+
+    def setup_shard(self, ctx: SetupContext, tid: int) -> None:
+        while len(self.queues) <= tid:
+            self.queues.append(None)
+        queue = PersistentQueue(self.heap, self.params.dataset.item_words)
+        queue.create(ctx)
+        rng = self.rngs[tid]
+        for _ in range(self.params.initial_items):
+            queue.enqueue(ctx, self.value_words(rng, queue.value_words))
+        self.queues[tid] = queue
+
+    def transaction(self, tid: int) -> Callable:
+        rng = self.rngs[tid]
+        queue = self.queues[tid]
+        if rng.random() < 0.5:
+            values = self.value_words(rng, queue.value_words)
+
+            def body(ctx):
+                queue.enqueue(ctx, values)
+        else:
+            def body(ctx):
+                queue.dequeue(ctx)
+
+        return body

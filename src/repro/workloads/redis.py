@@ -1,0 +1,133 @@
+"""Redis-style command mix (WHISPER ``redis`` equivalent).
+
+A persistent dictionary plus a handful of list objects, driven by a mix
+of the commands WHISPER's redis port issues: ``SET``/``GET``, ``INCR``
+(counter bumps — one dirty byte most of the time, DLDC's best case),
+``LPUSH``/``RPOP``.  Commands batch into transactions like redis
+pipelines.
+"""
+
+from typing import Callable, List, Optional
+
+from repro.heap.allocator import PersistentHeap
+from repro.workloads.base import SetupContext, Workload
+from repro.workloads.hashmap import PersistentHashMap
+from repro.workloads.queue import PersistentQueue
+
+N_LISTS = 8
+
+
+class RedisStore:
+    """Dict + lists + counters in simulated NVMM."""
+
+    def __init__(self, heap: PersistentHeap, item_words: int) -> None:
+        self.map = PersistentHashMap(heap, item_words)
+        self.lists = [PersistentQueue(heap, item_words) for _ in range(N_LISTS)]
+        self.value_words = self.map.value_words
+
+    def create(self, ctx) -> None:
+        self.map.create(ctx)
+        for lst in self.lists:
+            lst.create(ctx)
+
+    def set(self, ctx, key: int, values: List[int]) -> None:
+        self.map.insert(ctx, key, values)
+
+    def get(self, ctx, key: int) -> Optional[List[int]]:
+        node = self.map.lookup(ctx, key)
+        if node is None:
+            return None
+        return [
+            ctx.load(self.map.value_addr(node, i))
+            for i in range(self.value_words)
+        ]
+
+    def incr(self, ctx, key: int) -> int:
+        """INCR: create-or-bump an integer value (first value word)."""
+        node = self.map.lookup(ctx, key)
+        if node is None:
+            values = [1] + [0] * (self.value_words - 1)
+            self.map.insert(ctx, key, values)
+            return 1
+        addr = self.map.value_addr(node, 0)
+        value = ctx.load(addr) + 1
+        ctx.store(addr, value)
+        return value
+
+    def lpush(self, ctx, list_id: int, values: List[int]) -> None:
+        self.lists[list_id % N_LISTS].enqueue(ctx, values[: self.value_words + 1])
+
+    def rpop(self, ctx, list_id: int) -> Optional[List[int]]:
+        return self.lists[list_id % N_LISTS].dequeue(ctx)
+
+
+class RedisWorkload(Workload):
+    """SET/GET/INCR/LPUSH/RPOP command mix (WHISPER redis equivalent)."""
+
+    name = "redis"
+    OPS_PER_TX = 6
+    # Command mix roughly mirroring a counter-heavy redis deployment.
+    MIX = (("incr", 0.35), ("set", 0.25), ("get", 0.2), ("lpush", 0.1), ("rpop", 0.1))
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.stores: List[Optional[RedisStore]] = []
+
+    def setup_shard(self, ctx: SetupContext, tid: int) -> None:
+        while len(self.stores) <= tid:
+            self.stores.append(None)
+        store = RedisStore(self.heap, self.params.dataset.item_words)
+        store.create(ctx)
+        rng = self.rngs[tid]
+        for _ in range(self.params.initial_items):
+            key = rng.randrange(1, self.params.key_space)
+            store.set(ctx, key, self.value_words(rng, store.value_words))
+        self.stores[tid] = store
+
+    def _pick_command(self, rng) -> str:
+        roll = rng.random()
+        acc = 0.0
+        for name, weight in self.MIX:
+            acc += weight
+            if roll < acc:
+                return name
+        return self.MIX[-1][0]
+
+    def transaction(self, tid: int) -> Callable:
+        rng = self.rngs[tid]
+        store = self.stores[tid]
+        # Counters live in a small hot keyspace, like real rate counters.
+        ops = []
+        for _ in range(self.OPS_PER_TX):
+            command = self._pick_command(rng)
+            if command == "incr":
+                ops.append(("incr", rng.randrange(1, 64), None))
+            elif command == "set":
+                ops.append(
+                    ("set", rng.randrange(1, self.params.key_space),
+                     self.value_words(rng, store.value_words))
+                )
+            elif command == "get":
+                ops.append(("get", rng.randrange(1, self.params.key_space), None))
+            elif command == "lpush":
+                ops.append(
+                    ("lpush", rng.randrange(N_LISTS),
+                     self.value_words(rng, store.lists[0].value_words))
+                )
+            else:
+                ops.append(("rpop", rng.randrange(N_LISTS), None))
+
+        def body(ctx):
+            for command, arg, values in ops:
+                if command == "incr":
+                    store.incr(ctx, arg)
+                elif command == "set":
+                    store.set(ctx, arg, values)
+                elif command == "get":
+                    store.get(ctx, arg)
+                elif command == "lpush":
+                    store.lpush(ctx, arg, values)
+                else:
+                    store.rpop(ctx, arg)
+
+        return body

@@ -1,0 +1,124 @@
+"""Persistent scalable directed graph (micro-benchmark ``SDG``).
+
+A vertex table of adjacency-list heads plus edge nodes ``[dest, next,
+weight/value...]``.  Transactions insert or delete a random edge, walking
+the source vertex's adjacency list — the access pattern of the scalable
+graph benchmark used by DHTM/ATOM/FWB.
+"""
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.common.bitops import WORD_BYTES
+from repro.heap.allocator import PersistentHeap
+from repro.workloads.base import SetupContext, Workload
+
+
+class PersistentGraph:
+    """Directed graph with adjacency lists in simulated NVMM."""
+
+    def __init__(self, heap: PersistentHeap, item_words: int, n_vertices: int = 256) -> None:
+        if item_words < 3:
+            raise ValueError("edge nodes need at least 3 words")
+        self.heap = heap
+        self.node_words = item_words
+        self.value_words = item_words - 2
+        self.n_vertices = n_vertices
+        self.vertices = heap.pmalloc(n_vertices * WORD_BYTES)
+
+    def create(self, ctx) -> None:
+        for i in range(self.n_vertices):
+            ctx.store(self.vertices + i * WORD_BYTES, 0)
+
+    def _head_addr(self, src: int) -> int:
+        return self.vertices + (src % self.n_vertices) * WORD_BYTES
+
+    def insert_edge(self, ctx, src: int, dst: int, values: List[int]) -> int:
+        """Add (or refresh) the edge src -> dst; returns the edge node."""
+        if len(values) != self.value_words:
+            raise ValueError("expected %d value words" % self.value_words)
+        head_addr = self._head_addr(src)
+        node = ctx.load(head_addr)
+        while node:
+            if ctx.load(node) == dst:
+                break
+            node = ctx.load(node + WORD_BYTES)
+        if not node:
+            node = self.heap.pmalloc(self.node_words * WORD_BYTES)
+            ctx.store(node, dst)
+            ctx.store(node + WORD_BYTES, ctx.load(head_addr))
+            ctx.store(head_addr, node)
+        for i, value in enumerate(values):
+            ctx.store(node + (2 + i) * WORD_BYTES, value)
+        return node
+
+    def delete_edge(self, ctx, src: int, dst: int) -> bool:
+        head_addr = self._head_addr(src)
+        node = ctx.load(head_addr)
+        prev = None
+        while node:
+            if ctx.load(node) == dst:
+                nxt = ctx.load(node + WORD_BYTES)
+                if prev is None:
+                    ctx.store(head_addr, nxt)
+                else:
+                    ctx.store(prev + WORD_BYTES, nxt)
+                self.heap.pfree(node)
+                return True
+            prev, node = node, ctx.load(node + WORD_BYTES)
+        return False
+
+    def has_edge(self, ctx, src: int, dst: int) -> bool:
+        node = ctx.load(self._head_addr(src))
+        while node:
+            if ctx.load(node) == dst:
+                return True
+            node = ctx.load(node + WORD_BYTES)
+        return False
+
+    def edges(self, ctx) -> Iterator[Tuple[int, int]]:
+        for src in range(self.n_vertices):
+            node = ctx.load(self.vertices + src * WORD_BYTES)
+            while node:
+                yield src, ctx.load(node)
+                node = ctx.load(node + WORD_BYTES)
+
+
+class SdgWorkload(Workload):
+    """Insert/delete edges in a scalable graph (Table IV)."""
+
+    name = "sdg"
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.graphs: List[Optional[PersistentGraph]] = []
+
+    def setup_shard(self, ctx: SetupContext, tid: int) -> None:
+        while len(self.graphs) <= tid:
+            self.graphs.append(None)
+        n_vertices = max(self.params.initial_items // 8, 16)
+        graph = PersistentGraph(
+            self.heap, self.params.dataset.item_words, n_vertices
+        )
+        graph.create(ctx)
+        rng = self.rngs[tid]
+        for _ in range(self.params.initial_items):
+            src = rng.randrange(n_vertices)
+            dst = rng.randrange(n_vertices)
+            graph.insert_edge(ctx, src, dst, self.value_words(rng, graph.value_words))
+        self.graphs[tid] = graph
+
+    def transaction(self, tid: int) -> Callable:
+        rng = self.rngs[tid]
+        graph = self.graphs[tid]
+        src = rng.randrange(graph.n_vertices)
+        dst = rng.randrange(graph.n_vertices)
+        if rng.random() < 0.6:
+            values = self.value_words(rng, graph.value_words)
+
+            def body(ctx):
+                graph.insert_edge(ctx, src, dst, values)
+        else:
+            def body(ctx):
+                graph.delete_edge(ctx, src, dst)
+
+        return body

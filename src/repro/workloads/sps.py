@@ -1,0 +1,80 @@
+"""Persistent array swap (micro-benchmark ``SPS``).
+
+An array of fixed-size entries; each transaction swaps two random entries
+word by word.  The paper notes that with the large dataset MorLog shines
+here "since the array entries are initialized with the same value" — many
+swap bytes are clean; we initialize entries from a small pool of repeated
+templates to reproduce that.
+"""
+
+from typing import Callable, List, Optional
+
+from repro.common.bitops import WORD_BYTES
+from repro.heap.allocator import PersistentHeap
+from repro.workloads.base import SetupContext, Workload
+
+
+class PersistentArray:
+    """Flat array of multi-word entries in simulated NVMM."""
+
+    def __init__(self, heap: PersistentHeap, item_words: int, n_entries: int) -> None:
+        self.heap = heap
+        self.item_words = item_words
+        self.n_entries = n_entries
+        self.base = heap.pmalloc(n_entries * item_words * WORD_BYTES)
+
+    def entry_addr(self, index: int) -> int:
+        return self.base + index * self.item_words * WORD_BYTES
+
+    def read_entry(self, ctx, index: int) -> List[int]:
+        return ctx.load_words(self.entry_addr(index), self.item_words)
+
+    def write_entry(self, ctx, index: int, words: List[int]) -> None:
+        ctx.store_words(self.entry_addr(index), words)
+
+    def swap(self, ctx, a: int, b: int) -> None:
+        """Swap entries ``a`` and ``b`` word by word."""
+        addr_a, addr_b = self.entry_addr(a), self.entry_addr(b)
+        for i in range(self.item_words):
+            offset = i * WORD_BYTES
+            va = ctx.load(addr_a + offset)
+            vb = ctx.load(addr_b + offset)
+            ctx.store(addr_a + offset, vb)
+            ctx.store(addr_b + offset, va)
+
+
+class SpsWorkload(Workload):
+    """Swap two random entries in an array (Table IV)."""
+
+    name = "sps"
+    # Entries start from a handful of templates, so many swaps move
+    # identical bytes (the paper's "initialized with the same value").
+    N_TEMPLATES = 4
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.arrays: List[Optional[PersistentArray]] = []
+
+    def setup_shard(self, ctx: SetupContext, tid: int) -> None:
+        while len(self.arrays) <= tid:
+            self.arrays.append(None)
+        item_words = self.params.dataset.item_words
+        array = PersistentArray(self.heap, item_words, self.params.initial_items)
+        rng = self.rngs[tid]
+        templates = [
+            self.value_words(rng, item_words) for _ in range(self.N_TEMPLATES)
+        ]
+        for i in range(array.n_entries):
+            array.write_entry(ctx, i, templates[rng.randrange(self.N_TEMPLATES)])
+        self.arrays[tid] = array
+
+    def transaction(self, tid: int) -> Callable:
+        rng = self.rngs[tid]
+        array = self.arrays[tid]
+        a = rng.randrange(array.n_entries)
+        b = rng.randrange(array.n_entries)
+
+        def body(ctx):
+            array.swap(ctx, a, b)
+
+        return body

@@ -1,0 +1,170 @@
+"""Travel reservation system (STAMP/WHISPER ``vacation``).
+
+Three resource tables (cars, flights, rooms) plus customers and their
+reservation lists.  A *make-reservation* transaction queries a handful of
+candidates per resource type (loads), picks the cheapest with free
+capacity, increments its ``used`` counter and appends a reservation node
+to the customer; a *delete-customer* transaction releases everything the
+customer holds.  The counter increments and list splices give vacation
+its WHISPER write profile.
+
+Resource record (8 words): ``[id, total, used, price, pad...]``.
+Customer record (8 words): ``[id, reservation_head, n_reservations, pad...]``.
+Reservation node (``item_words``): ``[resource_addr, next, value...]``.
+"""
+
+from typing import Callable, List, Optional
+
+from repro.common.bitops import WORD_BYTES
+from repro.heap.allocator import PersistentHeap
+from repro.workloads.base import SetupContext, Workload
+
+RESOURCE_TYPES = 3   # cars, flights, rooms
+RECORD_WORDS = 8
+QUERY_CANDIDATES = 4
+
+
+class VacationSystem:
+    """The reservation database in simulated NVMM."""
+
+    def __init__(
+        self,
+        heap: PersistentHeap,
+        item_words: int,
+        n_resources: int,
+        n_customers: int,
+    ) -> None:
+        if item_words < 3:
+            raise ValueError("reservation nodes need at least 3 words")
+        self.heap = heap
+        self.node_words = item_words
+        self.value_words = item_words - 2
+        self.n_resources = n_resources
+        self.n_customers = n_customers
+        record_bytes = RECORD_WORDS * WORD_BYTES
+        self.tables = [
+            heap.pmalloc(n_resources * record_bytes) for _ in range(RESOURCE_TYPES)
+        ]
+        self.customers = heap.pmalloc(n_customers * record_bytes)
+
+    def resource_rec(self, table: int, index: int) -> int:
+        return self.tables[table] + index * RECORD_WORDS * WORD_BYTES
+
+    def customer_rec(self, index: int) -> int:
+        return self.customers + index * RECORD_WORDS * WORD_BYTES
+
+    def populate(self, ctx, rng) -> None:
+        for table in range(RESOURCE_TYPES):
+            for i in range(self.n_resources):
+                ctx.store_words(
+                    self.resource_rec(table, i),
+                    [i, rng.randrange(5, 50), 0, rng.randrange(50, 500),
+                     0, 0, 0, 0],
+                )
+        for c in range(self.n_customers):
+            ctx.store_words(self.customer_rec(c), [c, 0, 0, 0, 0, 0, 0, 0])
+
+    # -- transactions --------------------------------------------------------
+
+    def make_reservation(self, ctx, rng, values: List[int]) -> int:
+        """Reserve one resource of each type for a random customer.
+
+        Returns the number of resources actually reserved.
+        """
+        customer = self.customer_rec(rng.randrange(self.n_customers))
+        reserved = 0
+        for table in range(RESOURCE_TYPES):
+            best, best_price = 0, 1 << 62
+            for _ in range(QUERY_CANDIDATES):
+                rec = self.resource_rec(table, rng.randrange(self.n_resources))
+                total = ctx.load(rec + WORD_BYTES)
+                used = ctx.load(rec + 2 * WORD_BYTES)
+                price = ctx.load(rec + 3 * WORD_BYTES)
+                if used < total and price < best_price:
+                    best, best_price = rec, price
+            if not best:
+                continue
+            ctx.store(best + 2 * WORD_BYTES, ctx.load(best + 2 * WORD_BYTES) + 1)
+            node = self.heap.pmalloc(self.node_words * WORD_BYTES)
+            ctx.store(node, best)
+            ctx.store(node + WORD_BYTES, ctx.load(customer + WORD_BYTES))
+            for i, value in enumerate(values):
+                ctx.store(node + (2 + i) * WORD_BYTES, value)
+            ctx.store(customer + WORD_BYTES, node)
+            ctx.store(
+                customer + 2 * WORD_BYTES,
+                ctx.load(customer + 2 * WORD_BYTES) + 1,
+            )
+            reserved += 1
+        return reserved
+
+    def delete_customer(self, ctx, rng) -> int:
+        """Release every reservation of a random customer."""
+        customer = self.customer_rec(rng.randrange(self.n_customers))
+        node = ctx.load(customer + WORD_BYTES)
+        released = 0
+        while node:
+            resource = ctx.load(node)
+            ctx.store(
+                resource + 2 * WORD_BYTES,
+                max(ctx.load(resource + 2 * WORD_BYTES) - 1, 0),
+            )
+            nxt = ctx.load(node + WORD_BYTES)
+            self.heap.pfree(node)
+            node = nxt
+            released += 1
+        ctx.store(customer + WORD_BYTES, 0)
+        ctx.store(customer + 2 * WORD_BYTES, 0)
+        return released
+
+    # -- invariants (tests) ---------------------------------------------------
+
+    def total_used(self, ctx) -> int:
+        return sum(
+            ctx.load(self.resource_rec(t, i) + 2 * WORD_BYTES)
+            for t in range(RESOURCE_TYPES)
+            for i in range(self.n_resources)
+        )
+
+    def total_reservations(self, ctx) -> int:
+        return sum(
+            ctx.load(self.customer_rec(c) + 2 * WORD_BYTES)
+            for c in range(self.n_customers)
+        )
+
+
+class VacationWorkload(Workload):
+    """Travel reservations (WHISPER vacation equivalent)."""
+
+    name = "vacation"
+    RESERVE_FRACTION = 0.8
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.systems: List[Optional[VacationSystem]] = []
+
+    def setup_shard(self, ctx: SetupContext, tid: int) -> None:
+        while len(self.systems) <= tid:
+            self.systems.append(None)
+        system = VacationSystem(
+            self.heap,
+            self.params.dataset.item_words,
+            n_resources=max(self.params.initial_items // 4, 16),
+            n_customers=max(self.params.initial_items // 2, 16),
+        )
+        system.populate(ctx, self.rngs[tid])
+        self.systems[tid] = system
+
+    def transaction(self, tid: int) -> Callable:
+        rng = self.rngs[tid]
+        system = self.systems[tid]
+        if rng.random() < self.RESERVE_FRACTION:
+            values = self.value_words(rng, system.value_words)
+
+            def body(ctx):
+                system.make_reservation(ctx, rng, values)
+        else:
+            def body(ctx):
+                system.delete_customer(ctx, rng)
+
+        return body

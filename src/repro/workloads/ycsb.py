@@ -1,0 +1,82 @@
+"""YCSB-style workload: 20 % read / 80 % update (macro-benchmark ``YCSB``).
+
+A preloaded key-value table (every key present) accessed with a Zipfian
+key distribution, the standard YCSB skew.  Updates rewrite the entry's
+value words in place; reads walk the chain and load the values.
+"""
+
+import bisect
+from typing import Callable, List, Optional
+
+from repro.workloads.base import SetupContext, Workload
+from repro.workloads.hashmap import PersistentHashMap
+
+UPDATE_FRACTION = 0.8
+ZIPF_THETA = 0.99
+# Operations batched per durable transaction (WHISPER groups YCSB ops);
+# the Zipfian skew makes hot keys repeat within a batch.
+OPS_PER_TX = 8
+
+
+def zipf_cdf(n: int, theta: float = ZIPF_THETA) -> List[float]:
+    """Cumulative Zipf(theta) distribution over ranks 1..n."""
+    weights = [1.0 / (i ** theta) for i in range(1, n + 1)]
+    total = sum(weights)
+    cdf: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    return cdf
+
+
+class YcsbWorkload(Workload):
+    """20 %/80 % read/update over a hash-indexed table (Table IV)."""
+
+    name = "ycsb"
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.tables: List[Optional[PersistentHashMap]] = []
+        self._cdf: List[float] = []
+
+    def setup_shard(self, ctx: SetupContext, tid: int) -> None:
+        while len(self.tables) <= tid:
+            self.tables.append(None)
+        table = PersistentHashMap(self.heap, self.params.dataset.item_words)
+        table.create(ctx)
+        rng = self.rngs[tid]
+        n_keys = self.params.key_space
+        if not self._cdf:
+            self._cdf = zipf_cdf(n_keys)
+        # YCSB preloads the whole table before the measured phase.
+        for key in range(1, n_keys + 1):
+            table.insert(ctx, key, self.value_words(rng, table.value_words))
+        self.tables[tid] = table
+
+    def _zipf_key(self, rng) -> int:
+        rank = bisect.bisect_left(self._cdf, rng.random())
+        return 1 + min(rank, len(self._cdf) - 1)
+
+    def transaction(self, tid: int) -> Callable:
+        rng = self.rngs[tid]
+        table = self.tables[tid]
+        ops = []
+        for _ in range(OPS_PER_TX):
+            key = self._zipf_key(rng)
+            if rng.random() < UPDATE_FRACTION:
+                ops.append((key, self.value_words(rng, table.value_words)))
+            else:
+                ops.append((key, None))
+
+        def body(ctx):
+            for key, values in ops:
+                if values is None:
+                    node = table.lookup(ctx, key)
+                    if node is not None:
+                        for i in range(table.value_words):
+                            ctx.load(table.value_addr(node, i))
+                else:
+                    table.insert(ctx, key, values)
+
+        return body

@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import random
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    CacheLevelConfig,
+    CoreConfig,
+    LoggingConfig,
+    NVMConfig,
+    SystemConfig,
+)
+
+
+def tiny_config(**logging_overrides) -> SystemConfig:
+    """A small, fast system configuration for unit/integration tests."""
+    defaults = dict(log_region_bytes=256 * 1024, fwb_interval_cycles=200_000)
+    defaults.update(logging_overrides)
+    logging = LoggingConfig(**defaults)
+    return SystemConfig(
+        cores=CoreConfig(n_cores=4),
+        caches=CacheConfig(
+            l1=CacheLevelConfig(4 * 1024, 4, 64, 4),
+            l2=CacheLevelConfig(16 * 1024, 4, 64, 12),
+            l3=CacheLevelConfig(64 * 1024, 8, 64, 28, shared=True),
+        ),
+        nvm=NVMConfig(size_bytes=64 * 1024 * 1024),
+        logging=logging,
+    )
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    return tiny_config()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def make_tiny_system(design: str = "MorLog-SLDE", **logging_overrides):
+    from repro.core.designs import make_system
+
+    return make_system(design, tiny_config(**logging_overrides))

@@ -1,0 +1,137 @@
+"""Unit and property tests for repro.common.bitops."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import bitops
+
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+masks8 = st.integers(min_value=0, max_value=0xFF)
+
+
+class TestPopcountAndFlips:
+    def test_popcount_zero(self):
+        assert bitops.popcount(0) == 0
+
+    def test_popcount_all_ones(self):
+        assert bitops.popcount((1 << 64) - 1) == 64
+
+    def test_popcount_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bitops.popcount(-1)
+
+    def test_flipped_bits_identity(self):
+        assert bitops.flipped_bits(0x1234, 0x1234) == 0
+
+    def test_flipped_bits_counts_xor(self):
+        assert bitops.flipped_bits(0b1010, 0b0101) == 4
+
+    @given(words, words)
+    def test_flipped_bits_symmetric(self, a, b):
+        assert bitops.flipped_bits(a, b) == bitops.flipped_bits(b, a)
+
+
+class TestByteConversions:
+    @given(words)
+    def test_word_bytes_roundtrip(self, w):
+        assert bitops.bytes_to_word(bitops.word_bytes(w)) == w
+
+    def test_word_bytes_little_endian(self):
+        assert bitops.word_bytes(0x0102030405060708)[0] == 0x08
+
+    def test_bytes_to_word_rejects_wide(self):
+        with pytest.raises(ValueError):
+            bitops.bytes_to_word([0] * 9)
+
+    def test_bytes_to_word_rejects_bad_byte(self):
+        with pytest.raises(ValueError):
+            bitops.bytes_to_word([256])
+
+
+class TestDirtyMasks:
+    def test_identical_words_clean(self):
+        assert bitops.dirty_byte_mask(5, 5) == 0
+
+    def test_single_byte_change(self):
+        assert bitops.dirty_byte_mask(0x00, 0xFF) == 0b1
+
+    def test_high_byte_change(self):
+        old = 0
+        new = 0xAB << 56
+        assert bitops.dirty_byte_mask(old, new) == 0b1000_0000
+
+    @given(words, words)
+    def test_mask_popcount_equals_dirty_count(self, a, b):
+        mask = bitops.dirty_byte_mask(a, b)
+        assert bitops.popcount(mask) == bitops.dirty_byte_count(a, b)
+
+    @given(words, words)
+    def test_select_scatter_roundtrip(self, old, new):
+        mask = bitops.dirty_byte_mask(old, new)
+        dirty = bitops.select_bytes(new, mask)
+        assert bitops.scatter_bytes(old, mask, dirty) == new
+
+    def test_scatter_rejects_extra_bytes(self):
+        with pytest.raises(ValueError):
+            bitops.scatter_bytes(0, 0b1, [1, 2])
+
+
+class TestLines:
+    @given(st.lists(words, min_size=8, max_size=8))
+    def test_line_roundtrip(self, ws):
+        assert list(bitops.line_to_words(bitops.words_to_line(ws))) == ws
+
+    def test_line_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.line_to_words(b"\x00" * 63)
+
+
+class TestCells:
+    @given(words)
+    def test_split_join_roundtrip_tlc(self, w):
+        cells = bitops.split_cells(w, 64, 3)
+        assert len(cells) == 22
+        assert bitops.join_cells(cells, 3) == w
+
+    @given(st.integers(min_value=1, max_value=4), words)
+    def test_split_join_various_widths(self, bpc, w):
+        cells = bitops.split_cells(w, 64, bpc)
+        assert bitops.join_cells(cells, bpc) == w
+
+    def test_split_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            bitops.split_cells(1, 64, 0)
+
+    def test_join_rejects_out_of_range_level(self):
+        with pytest.raises(ValueError):
+            bitops.join_cells([8], 3)
+
+
+class TestSignExtension:
+    def test_sign_extend_negative(self):
+        assert bitops.sign_extend(0xF, 4, 8) == 0xFF
+
+    def test_sign_extend_positive(self):
+        assert bitops.sign_extend(0x7, 4, 8) == 0x07
+
+    @given(st.integers(min_value=1, max_value=63), words)
+    def test_fits_signed_consistent_with_sign_extend(self, bits, w):
+        if bitops.fits_signed(w, bits):
+            assert bitops.sign_extend(w & ((1 << bits) - 1), bits) == w
+
+    def test_fits_signed_small_negative(self):
+        minus_one = (1 << 64) - 1
+        assert bitops.fits_signed(minus_one, 2)
+
+    def test_fits_signed_large_value(self):
+        assert not bitops.fits_signed(1 << 40, 32)
+
+
+class TestAlignment:
+    @given(st.integers(min_value=0, max_value=1 << 48))
+    def test_align_down_up(self, addr):
+        down = bitops.align_down(addr, 64)
+        up = bitops.align_up(addr, 64)
+        assert down <= addr <= up
+        assert down % 64 == 0 and up % 64 == 0
+        assert up - down in (0, 64)

@@ -1,0 +1,187 @@
+"""Cache line, set-associative cache and hierarchy tests."""
+
+import pytest
+
+from repro.cache.cache import SetAssocCache
+from repro.cache.cacheline import CacheLine, LogState
+from repro.cache.hierarchy import CacheHierarchy, CacheListener
+from repro.common.config import CacheLevelConfig
+from repro.common.stats import StatGroup
+from repro.memory.controller import MemoryController
+from tests.conftest import tiny_config
+
+
+class TestCacheLine:
+    def test_words_default_zero(self):
+        line = CacheLine(0)
+        assert line.words == [0] * 8
+        assert not line.dirty
+
+    def test_set_word_marks_dirty(self):
+        line = CacheLine(0)
+        line.set_word(3, 42)
+        assert line.dirty and line.word(3) == 42
+
+    def test_wrong_word_count_rejected(self):
+        with pytest.raises(ValueError):
+            CacheLine(0, [1, 2, 3])
+
+    def test_log_state_lifecycle(self):
+        line = CacheLine(0)
+        line.tid, line.txid = 1, 7
+        line.set_state(2, LogState.ULOG)
+        line.word_dirty_flags[2] = 0xF0
+        assert line.has_log_state()
+        assert line.words_in_state(LogState.ULOG) == [2]
+        line.clear_log_state()
+        assert not line.has_log_state()
+        assert line.tid is None and line.txid is None
+        assert line.word_dirty_flags[2] == 0
+
+
+class TestSetAssocCache:
+    def _cache(self, assoc=2, sets=4):
+        config = CacheLevelConfig(assoc * sets * 64, assoc, 64, 4)
+        return SetAssocCache("t", config, StatGroup("t"))
+
+    def test_miss_returns_none(self):
+        assert self._cache().lookup(0x0) is None
+
+    def test_insert_lookup(self):
+        cache = self._cache()
+        cache.insert(CacheLine(0x40))
+        assert cache.lookup(0x47).base_addr == 0x40
+
+    def test_lru_eviction_order(self):
+        cache = self._cache(assoc=2, sets=1)
+        a, b, c = CacheLine(0x000), CacheLine(0x040), CacheLine(0x080)
+        cache.insert(a)
+        cache.insert(b)
+        cache.lookup(0x000)           # refresh a; b becomes LRU
+        victim = cache.insert(c)
+        assert victim is b
+
+    def test_reinsert_same_line_no_eviction(self):
+        cache = self._cache(assoc=1, sets=1)
+        line = CacheLine(0x0)
+        cache.insert(line)
+        assert cache.insert(line) is None
+
+    def test_remove(self):
+        cache = self._cache()
+        cache.insert(CacheLine(0x40))
+        assert cache.remove(0x40).base_addr == 0x40
+        assert cache.lookup(0x40) is None
+
+    def test_unaligned_insert_rejected(self):
+        with pytest.raises(ValueError):
+            self._cache().insert(CacheLine(0x41))
+
+    def test_len_and_iter(self):
+        cache = self._cache()
+        for i in range(3):
+            cache.insert(CacheLine(i * 64))
+        assert len(cache) == 3
+        assert len(list(cache.iter_lines())) == 3
+
+
+class RecordingListener(CacheListener):
+    def __init__(self):
+        self.l1_evictions = []
+        self.write_backs = []
+        self.persisted = []
+
+    def on_l1_evict(self, core, line, now_ns):
+        self.l1_evictions.append((core, line.base_addr))
+        return now_ns
+
+    def before_llc_write_back(self, line_addr, now_ns):
+        self.write_backs.append(line_addr)
+        return now_ns
+
+    def on_data_persisted(self, line_addr, now_ns):
+        self.persisted.append(line_addr)
+
+
+class TestHierarchy:
+    def _hierarchy(self):
+        config = tiny_config()
+        controller = MemoryController(config, StatGroup("t"))
+        listener = RecordingListener()
+        hierarchy = CacheHierarchy(config, controller, StatGroup("t"), listener)
+        return config, controller, listener, hierarchy
+
+    def test_miss_then_hit_latency(self):
+        config, _c, _l, hierarchy = self._hierarchy()
+        addr = config.nvmm_base
+        _line, t_miss = hierarchy.access(0, addr, 0.0, is_store=False)
+        _line, t_hit = hierarchy.access(0, addr, t_miss, is_store=False)
+        assert t_miss > config.nvm.read_latency_ns  # went to memory
+        assert t_hit - t_miss == pytest.approx(
+            config.caches.l1.latency_cycles * config.cores.ns_per_cycle
+        )
+
+    def test_store_hit_uses_store_buffer_latency(self):
+        config, _c, _l, hierarchy = self._hierarchy()
+        addr = config.nvmm_base
+        _line, t0 = hierarchy.access(0, addr, 0.0, is_store=True)
+        _line, t1 = hierarchy.access(0, addr, t0, is_store=True)
+        assert t1 - t0 == pytest.approx(
+            config.cores.store_hit_cycles * config.cores.ns_per_cycle
+        )
+
+    def test_memory_fill_reads_value(self):
+        config, controller, _l, hierarchy = self._hierarchy()
+        addr = config.nvmm_base + 0x1000
+        controller.nvm.array.write_logical(addr, 77)
+        line, _t = hierarchy.access(0, addr, 0.0, is_store=False)
+        assert line.word(0) == 77
+
+    def test_eviction_chain_to_memory(self):
+        config, controller, listener, hierarchy = self._hierarchy()
+        base = config.nvmm_base
+        # Touch enough lines to overflow L1+L2+L3 of one set path.
+        n_lines = 4096
+        t = 0.0
+        for i in range(n_lines):
+            line, t = hierarchy.access(0, base + i * 64, t, is_store=True)
+            line.set_word(0, i + 1)
+        assert listener.l1_evictions, "L1 should have evicted"
+        assert listener.write_backs, "LLC should have written back"
+        assert listener.write_backs == listener.persisted
+
+    def test_coherence_transfer_moves_dirty_line(self):
+        config, _c, listener, hierarchy = self._hierarchy()
+        addr = config.nvmm_base
+        line, t = hierarchy.access(0, addr, 0.0, is_store=True)
+        line.set_word(0, 123)
+        line2, _t = hierarchy.access(1, addr, t, is_store=False)
+        assert line2.word(0) == 123
+        assert (0, line.base_addr) in listener.l1_evictions
+
+    def test_coherent_word_sees_cached_value(self):
+        config, _c, _l, hierarchy = self._hierarchy()
+        addr = config.nvmm_base
+        line, _t = hierarchy.access(0, addr, 0.0, is_store=True)
+        line.set_word(0, 9)
+        assert hierarchy.coherent_word(addr) == 9
+
+    def test_fwb_scan_two_pass_write_back(self):
+        config, controller, _l, hierarchy = self._hierarchy()
+        addr = config.nvmm_base
+        line, t = hierarchy.access(0, addr, 0.0, is_store=True)
+        line.set_word(0, 5)
+        hierarchy.force_write_back_scan(t)      # first scan sets the flag
+        assert controller.nvm.array.read_logical(addr) == 0
+        hierarchy.force_write_back_scan(t)      # second scan writes back
+        assert controller.nvm.array.read_logical(addr) == 5
+        assert not line.dirty
+        assert hierarchy.l1s[0].lookup(addr) is line  # not invalidated
+
+    def test_drain_all_flushes_everything(self):
+        config, controller, _l, hierarchy = self._hierarchy()
+        addr = config.nvmm_base
+        line, t = hierarchy.access(0, addr, 0.0, is_store=True)
+        line.set_word(2, 11)
+        hierarchy.drain_all(t)
+        assert controller.nvm.array.read_logical(addr + 16) == 11

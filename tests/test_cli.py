@@ -1,0 +1,44 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_designs_listed(capsys):
+    assert main(["designs"]) == 0
+    out = capsys.readouterr().out
+    assert "FWB-CRADE" in out and "MorLog-DP" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "--workload", "queue", "--transactions", "20",
+                 "--threads", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+
+
+def test_overhead_command(capsys):
+    assert main(["overhead"]) == 0
+    out = capsys.readouterr().out
+    assert "log_registers_bytes" in out
+
+
+def test_record_and_replay_roundtrip(tmp_path, capsys):
+    path = str(tmp_path / "trace.jsonl")
+    assert main(["record", path, "--workload", "queue",
+                 "--transactions", "10", "--threads", "1"]) == 0
+    assert main(["replay", path, "--design", "FWB-CRADE",
+                 "--threads", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "replayed transactions" in out
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure", "fig99"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

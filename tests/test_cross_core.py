@@ -1,0 +1,68 @@
+"""Cross-core interactions: coherence transfers under live log state."""
+
+import pytest
+
+from repro.cache.cacheline import LogState
+from tests.conftest import make_tiny_system
+
+
+class TestLineMigrationWithLogState:
+    def test_other_core_write_closes_out_previous_tx(self):
+        """Core 1 touching a line that still carries core 0's committed
+        ULog state must emit the pending redo entry first."""
+        system = make_tiny_system("MorLog-DP")  # DP leaves ULog after commit
+        base = system.config.nvmm_base
+        system.begin_tx(0)
+        system.store_word(0, base, 1)
+        system.advance(0, 1000)
+        system.store_word(0, base, 2)   # ULog on core 0's L1
+        system.end_tx(0)
+        # Core 1 writes a different word of the same line: the line
+        # migrates, core 0's buffered redo becomes a redo entry.
+        system.begin_tx(1)
+        system.store_word(1, base + 8, 7)
+        system.end_tx(1)
+        system.logger.drain(max(system.core_time_ns))
+        state = system.recover(verify_decode=True)
+        redo = [r for r in state.records if r.meta.type.name == "REDO"]
+        assert any(r.meta.addr == base and r.redo == 2 for r in redo)
+        assert system.persistent_word(base) == 2
+        assert system.persistent_word(base + 8) == 7
+
+    def test_reader_on_other_core_sees_dirty_value(self):
+        system = make_tiny_system()
+        base = system.config.nvmm_base
+        system.begin_tx(0)
+        system.store_word(0, base, 0x42)
+        system.end_tx(0)
+        assert system.load_word(1, base) == 0x42
+
+    def test_migrated_line_loses_l1_extensions(self):
+        system = make_tiny_system()
+        base = system.config.nvmm_base
+        system.begin_tx(0)
+        system.store_word(0, base, 5)
+        system.end_tx(0)
+        system.load_word(1, base)  # migrate to core 1
+        line = system.hierarchy.l1s[1].lookup(base, touch=False)
+        assert line is not None
+        assert not line.has_log_state()
+        assert line.txid is None
+
+    def test_interleaved_transactions_on_shared_line_recover(self):
+        """Alternating writers on one line, crash, all-or-nothing."""
+        system = make_tiny_system()
+        base = system.config.nvmm_base
+        expected = {}
+        for round_number in range(6):
+            core = round_number % 2
+            addr = base + 8 * core
+            value = 100 * round_number + core
+            system.begin_tx(core)
+            system.store_word(core, addr, value)
+            system.end_tx(core)
+            expected[addr] = value
+        state = system.recover(verify_decode=True)
+        assert len(state.persisted_txids) == 6
+        for addr, value in expected.items():
+            assert system.persistent_word(addr) == value

@@ -1,0 +1,95 @@
+"""Endurance model tests."""
+
+import pytest
+
+from repro.common.config import NVMConfig
+from repro.common.stats import StatGroup
+from repro.encoding.base import RawCodec
+from repro.nvm.array import NvmArray
+from repro.nvm.endurance import (
+    EnduranceReport,
+    endurance_report,
+    lifetime_improvement,
+)
+
+
+def _array_with_writes():
+    array = NvmArray(NVMConfig(), StatGroup("t"))
+    codec = RawCodec()
+    array.write_word(0x00, codec.encode(0xFFFF), 0xFFFF)
+    array.write_word(0x00, codec.encode(0x0000), 0x0000)
+    array.write_word(0x08, codec.encode(0x1), 0x1)
+    return array
+
+
+class TestWearTracking:
+    def test_wear_accumulates_per_word(self):
+        array = _array_with_writes()
+        assert array.wear[0x00] > array.wear[0x08]
+
+    def test_silent_write_adds_no_wear(self):
+        array = NvmArray(NVMConfig(), StatGroup("t"))
+        codec = RawCodec()
+        array.write_word(0x00, codec.encode(5), 5)
+        before = array.wear[0x00]
+        array.write_word(0x00, codec.encode(5), 5)
+        assert array.wear[0x00] == before
+
+    def test_report_totals(self):
+        array = _array_with_writes()
+        report = endurance_report(array)
+        assert report.total_cell_programs == sum(array.wear.values())
+        assert report.words_touched == 2
+        assert report.max_word_wear == array.wear[0x00]
+
+
+class TestLifetimeMath:
+    def test_empty_array_infinite_lifetime(self):
+        array = NvmArray(NVMConfig(), StatGroup("t"))
+        report = endurance_report(array)
+        assert report.lifetime_runs_unleveled() == float("inf")
+
+    def test_unleveled_bounded_by_hottest_word(self):
+        report = EnduranceReport(
+            total_cell_programs=100,
+            words_touched=10,
+            max_word_wear=50,
+            mean_word_wear=10.0,
+            cell_endurance=1e6,
+        )
+        assert report.lifetime_runs_unleveled() < report.lifetime_runs_leveled()
+        assert report.wear_imbalance == pytest.approx(5.0)
+
+    def test_improvement_ratio(self):
+        base = EnduranceReport(1000, 10, 100, 100.0, 1e6)
+        better = EnduranceReport(500, 10, 50, 50.0, 1e6)
+        assert lifetime_improvement(base, better) == pytest.approx(2.0)
+
+    def test_improvement_is_inverse_of_cell_programs(self):
+        # Equal-capacity devices: halving the programs doubles the life,
+        # regardless of how many distinct words each run touched.
+        base = EnduranceReport(1000, 50, 100, 20.0, 1e6)
+        better = EnduranceReport(250, 10, 50, 25.0, 1e6)
+        assert lifetime_improvement(base, better) == pytest.approx(4.0)
+
+    def test_improvement_zero_programs(self):
+        base = EnduranceReport(0, 0, 0, 0.0, 1e6)
+        assert lifetime_improvement(base, base) == 1.0
+
+    def test_fewer_bits_means_longer_life_end_to_end(self):
+        """The §VI-C claim on a real workload pair."""
+        from repro.core.designs import make_system
+        from repro.workloads.base import WorkloadParams, make_workload
+        from tests.conftest import tiny_config
+
+        def wear_of(design):
+            system = make_system(design, tiny_config())
+            workload = make_workload(
+                "echo", WorkloadParams(initial_items=64, key_space=128, seed=5)
+            )
+            system.run(workload, 80, n_threads=2)
+            return endurance_report(system.controller.nvm.array)
+
+        fwb = wear_of("FWB-CRADE")
+        morlog = wear_of("MorLog-SLDE")
+        assert lifetime_improvement(fwb, morlog) > 1.0

@@ -1,0 +1,87 @@
+"""Expansion coding (incomplete data mapping) tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.config import (
+    TLC_WRITE_ENERGY_PJ,
+    TLC_WRITE_LATENCY_NS,
+    tlc_levels_sorted_by_latency,
+)
+from repro.encoding.expansion import (
+    CELLS_PER_WORD,
+    ExpansionPolicy,
+    cells_to_bits,
+    cells_used,
+    map_bits_to_cells,
+    policy_for_size,
+)
+
+
+class TestPolicySelection:
+    def test_tiny_payload_gets_1bit_mapping(self):
+        assert policy_for_size(0) is ExpansionPolicy.EXPAND1
+        assert policy_for_size(22) is ExpansionPolicy.EXPAND1
+
+    def test_medium_payload_gets_2bit_mapping(self):
+        assert policy_for_size(23) is ExpansionPolicy.EXPAND2
+        assert policy_for_size(44) is ExpansionPolicy.EXPAND2
+
+    def test_large_payload_raw(self):
+        assert policy_for_size(45) is ExpansionPolicy.RAW
+        assert policy_for_size(64) is ExpansionPolicy.RAW
+
+    def test_disabled_expansion_always_raw(self):
+        assert policy_for_size(4, expansion_enabled=False) is ExpansionPolicy.RAW
+
+
+class TestLevelSubsets:
+    def test_expand1_uses_two_cheapest_levels(self):
+        cells = map_bits_to_cells(0b01, 2, ExpansionPolicy.EXPAND1)
+        ordered = tlc_levels_sorted_by_latency()
+        assert set(cells) <= set(ordered[:2])
+
+    def test_expand2_uses_four_cheapest_levels(self):
+        cells = map_bits_to_cells(0b1110, 4, ExpansionPolicy.EXPAND2)
+        ordered = tlc_levels_sorted_by_latency()
+        assert set(cells) <= set(ordered[:4])
+
+    def test_cheapest_levels_are_cheap_in_both_metrics(self):
+        # Table III: the fastest four levels are also the most energy
+        # efficient, which is what makes IDM restriction worthwhile.
+        by_latency = sorted(TLC_WRITE_LATENCY_NS, key=TLC_WRITE_LATENCY_NS.get)[:4]
+        by_energy = sorted(TLC_WRITE_ENERGY_PJ, key=TLC_WRITE_ENERGY_PJ.get)[:4]
+        assert set(by_latency) == set(by_energy)
+
+
+class TestMappingRoundtrip:
+    @given(
+        st.integers(min_value=0, max_value=(1 << 22) - 1),
+        st.sampled_from(list(ExpansionPolicy)),
+    )
+    def test_roundtrip(self, payload, policy):
+        bits = 22
+        cells = map_bits_to_cells(payload, bits, policy)
+        assert cells_to_bits(cells, bits, policy) == payload
+
+    def test_cells_used_counts(self):
+        assert cells_used(22, ExpansionPolicy.EXPAND1) == 22
+        assert cells_used(22, ExpansionPolicy.EXPAND2) == 11
+        assert cells_used(22, ExpansionPolicy.RAW) == 8
+        assert cells_used(0, ExpansionPolicy.RAW) == 0
+
+    def test_word_fits_exactly(self):
+        cells = map_bits_to_cells((1 << 64) - 1, 64, ExpansionPolicy.RAW)
+        assert len(cells) == CELLS_PER_WORD
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            map_bits_to_cells(0, 23, ExpansionPolicy.EXPAND1)
+
+    def test_wide_payload_rejected(self):
+        with pytest.raises(ValueError):
+            map_bits_to_cells(0b111, 2, ExpansionPolicy.RAW)
+
+    def test_invalid_level_rejected_on_decode(self):
+        with pytest.raises(ValueError):
+            cells_to_bits([0b011], 1, ExpansionPolicy.EXPAND1)

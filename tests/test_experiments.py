@@ -1,0 +1,167 @@
+"""Experiment harness tests: runner, figure functions, result shapes.
+
+These run heavily-scaled-down grids; the full-size versions live under
+``benchmarks/``.  The *shape* assertions here encode the paper's headline
+directional claims at tiny scale, so regressions in the designs' relative
+behaviour fail fast.
+"""
+
+import pytest
+
+from repro.common.stats import geometric_mean
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentScale, run_design, run_grid
+from repro.workloads.base import DatasetSize
+
+TINY = ExperimentScale(
+    micro_transactions=60, macro_transactions=40, micro_threads=2, macro_threads=2
+)
+
+
+@pytest.fixture(scope="module")
+def micro_grid():
+    return run_grid(
+        ("FWB-CRADE", "MorLog-SLDE", "MorLog-DP"),
+        ("hash", "queue", "sps"),
+        DatasetSize.SMALL,
+        TINY,
+    )
+
+
+class TestRunner:
+    def test_run_design_returns_result(self):
+        result = run_design("FWB-CRADE", "queue", DatasetSize.SMALL, TINY)
+        assert result.transactions == 60
+        assert result.nvmm_writes > 0
+
+    def test_large_dataset_scales_down(self):
+        assert TINY.transactions(False, DatasetSize.LARGE) < TINY.transactions(
+            False, DatasetSize.SMALL
+        )
+
+    def test_grid_shape(self, micro_grid):
+        assert set(micro_grid) == {"hash", "queue", "sps"}
+        for row in micro_grid.values():
+            assert set(row) == {"FWB-CRADE", "MorLog-SLDE", "MorLog-DP"}
+
+
+class TestHeadlineShapes:
+    """Directional claims from the paper's abstract, at tiny scale."""
+
+    def test_morlog_reduces_write_traffic(self, micro_grid):
+        ratios = [
+            row["MorLog-SLDE"].nvmm_writes / row["FWB-CRADE"].nvmm_writes
+            for row in micro_grid.values()
+        ]
+        assert geometric_mean(ratios) < 1.0
+
+    def test_morlog_reduces_write_energy(self, micro_grid):
+        ratios = [
+            row["MorLog-SLDE"].nvmm_write_energy_pj
+            / row["FWB-CRADE"].nvmm_write_energy_pj
+            for row in micro_grid.values()
+        ]
+        assert geometric_mean(ratios) < 0.95
+
+    def test_morlog_improves_throughput(self, micro_grid):
+        ratios = [
+            row["MorLog-DP"].throughput_tx_per_s
+            / row["FWB-CRADE"].throughput_tx_per_s
+            for row in micro_grid.values()
+        ]
+        assert geometric_mean(ratios) > 1.0
+
+    def test_slde_reduces_log_bits(self):
+        out = figures.table6_log_bits(
+            TINY, designs=("FWB-CRADE", "MorLog-SLDE")
+        )
+        assert out["Small"]["MorLog-SLDE"] > 0.0
+        assert out["Small"]["FWB-CRADE"] == pytest.approx(0.0)
+
+
+class TestMotivationFigures:
+    def test_fig3_distributions_sum_to_one(self):
+        data = figures.fig3_write_distance(TINY, workloads=("queue", "echo"))
+        for dist in data.values():
+            assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_fig5_percentages_in_range(self):
+        data = figures.fig5_clean_bytes(TINY, workloads=("queue", "echo", "hash"))
+        for pct in data.values():
+            assert 0.0 <= pct <= 100.0
+        # The paper's central observation: a large fraction of updated
+        # bytes are clean (70.5 % on average there).
+        assert sum(data.values()) / len(data) > 40.0
+
+    def test_table2_census_fractions(self):
+        data = figures.table2_patterns(TINY, workloads=("echo", "hash"))
+        assert sum(data.values()) == pytest.approx(1.0)
+        # A meaningful fraction of dirty log data is pattern-compressible.
+        assert data["uncompressed"] < 1.0
+
+    def test_table1_overheads_present(self):
+        out = figures.table1_overheads()
+        assert out["log_registers_bytes"] == 16
+        assert out["logic_gates"] == 4200
+
+    def test_tables_render(self):
+        text = figures.fig5_table(figures.fig5_clean_bytes(TINY, workloads=("queue",)))
+        assert "clean bytes" in text
+
+
+class TestSweeps:
+    def test_fig15_buffer_sweep_grid(self):
+        out = figures.fig15_buffer_sweep(
+            ur_sizes=(1, 16), redo_sizes=(2, 32), scale=TINY
+        )
+        assert set(out) == {(1, 2), (16, 2), (1, 32), (16, 32)}
+        # Larger undo+redo buffers never increase NVMM writes.
+        assert out[(16, 32)][1] <= out[(1, 32)][1]
+
+    def test_fig16_thread_scaling_normalized(self):
+        out = figures.fig16_thread_scaling(
+            thread_counts=(1, 2),
+            scale=TINY,
+            designs=("FWB-CRADE", "MorLog-SLDE"),
+            workloads=("queue",),
+        )
+        for row in out.values():
+            assert row["FWB-CRADE"] == pytest.approx(1.0)
+
+    def test_latency_sensitivity_runs(self):
+        out = figures.sens_nvm_latency(
+            scales_x=(1.0, 8.0),
+            scale=TINY,
+            designs=("FWB-CRADE", "MorLog-SLDE"),
+            workloads=("queue",),
+        )
+        assert set(out) == {1.0, 8.0}
+
+
+class TestConvergence:
+    """Normalized ratios stabilise at small transaction counts."""
+
+    def test_traffic_ratio_stable_across_scales(self):
+        ratios = []
+        for n in (60, 180):
+            fwb = run_design(
+                "FWB-CRADE", "hash", DatasetSize.SMALL, TINY, n_transactions=n
+            )
+            morlog = run_design(
+                "MorLog-SLDE", "hash", DatasetSize.SMALL, TINY, n_transactions=n
+            )
+            ratios.append(morlog.nvmm_writes / fwb.nvmm_writes)
+        assert abs(ratios[0] - ratios[1]) < 0.15
+
+
+class TestHeadline:
+    def test_headline_comparison_tiny(self):
+        from repro.experiments.headline import PAPER_HEADLINE, headline_comparison
+        from repro.workloads.base import DatasetSize
+
+        result = headline_comparison(
+            TINY, cells=(("hash", DatasetSize.SMALL), ("queue", DatasetSize.SMALL))
+        )
+        assert result.cells == 2
+        assert set(result.as_dict()) == set(PAPER_HEADLINE)
+        assert result.shape_holds()

@@ -1,0 +1,122 @@
+"""The paper's Figure 11 worked example, step by step.
+
+Initial values A = B = C = 0; the transaction writes
+A1 = 0x000300F9000500FE, B1 = 0xFFFFFFFFFFFFB6B6, A2 = 0xCDEF... , C1 = 0,
+with a 1-entry undo+redo buffer.  The figure's checkpoints:
+
+(a) write A1: undo+redo entry (dirty flag 0x55) buffered, word Dirty;
+(b) write B1: the full buffer evicts A's entry — undo 0 compressed by
+    FPC, redo A1 compressed by DLDC to tag 010 / payload 0x395E — and A
+    turns URLog;
+(c) write A2: A turns ULog, its L1 dirty flag becomes 0xFF;
+(d) write C1: the value is unchanged, so the state stays Clean and
+    nothing is logged; evicting A's line creates a redo entry, and the
+    LLC write-back of the in-place data drops it from the redo buffer
+    (under the paper-literal discard mode);
+(e) commit persists the remaining log data.
+"""
+
+import pytest
+
+from repro.cache.cacheline import LogState
+from repro.common.bitops import dirty_byte_mask
+from repro.core.designs import make_system
+from repro.encoding.dldc import DldcCodec
+from tests.conftest import tiny_config
+
+A1 = 0x000300F9000500FE
+A2 = 0xCDEFCDEFCDEFCDEF
+B1 = 0xFFFFFFFFFFFFB6B6
+C1 = 0x0
+
+
+def build(unsafe_discard=False):
+    config = tiny_config(
+        undo_redo_buffer_entries=1,
+        redo_buffer_entries=4,
+        unsafe_llc_redo_discard=unsafe_discard,
+    )
+    system = make_system("MorLog-SLDE", config)
+    base = system.config.nvmm_base
+    # A, B, C on distinct cache lines, all initially zero.
+    a, b, c = base, base + 64, base + 128
+    return system, a, b, c
+
+
+class TestFigure11:
+    def test_step_a_first_write_buffers_undo_redo(self):
+        system, a, _b, _c = build()
+        system.begin_tx(0)
+        system.store_word(0, a, A1)
+        line = system.hierarchy.l1s[0].lookup(a, touch=False)
+        assert line.state(0) is LogState.DIRTY
+        entry = system.logger.ur_buffer.find((0, system.current_tx[0].txid, a))
+        assert entry is not None
+        assert entry.entry.undo == 0 and entry.entry.redo == A1
+        assert entry.entry.dirty_mask == 0x55  # the figure's "A: 0x55, 0, A1"
+
+    def test_step_b_eviction_encodes_like_the_figure(self):
+        # The figure: undo (0) compressed by FPC, redo (A1) by DLDC with
+        # tag 010 and payload 0x2395E (= tag 2, body 0x395E).
+        assert dirty_byte_mask(0, A1) == 0x55
+        encoded = DldcCodec().encode_log(A1, 0x55)
+        parsed = DldcCodec().parse(encoded)
+        assert parsed.compressed and parsed.tag == 0b010
+        assert encoded.payload >> 4 == 0x395E  # header + tag occupy 4 bits
+
+        system, a, b, _c = build()
+        system.begin_tx(0)
+        system.store_word(0, a, A1)
+        system.store_word(0, b, B1)  # 1-entry buffer: evicts A's entry
+        line = system.hierarchy.l1s[0].lookup(a, touch=False)
+        assert line.state(0) is LogState.URLOG
+        assert line.word_dirty_flags[0] == 0
+        records = system.recover(verify_decode=True).records
+        # Exactly one undo+redo entry (A's) persisted so far.
+        assert len(records) == 1
+        assert records[0].undo == 0 and records[0].redo == A1
+
+    def test_step_c_rewrite_buffers_redo_in_l1(self):
+        system, a, b, _c = build()
+        system.begin_tx(0)
+        system.store_word(0, a, A1)
+        system.store_word(0, b, B1)
+        system.store_word(0, a, A2)
+        line = system.hierarchy.l1s[0].lookup(a, touch=False)
+        assert line.state(0) is LogState.ULOG
+        assert line.word_dirty_flags[0] == dirty_byte_mask(A1, A2) == 0xFF
+
+    def test_step_d_silent_store_stays_clean(self):
+        system, a, b, c = build()
+        system.begin_tx(0)
+        system.store_word(0, c, C1)  # value unchanged
+        line = system.hierarchy.l1s[0].lookup(c, touch=False)
+        assert line.state(0) is LogState.CLEAN
+        assert system.stats.get("silent_stores") == 1
+
+    def test_step_d_llc_eviction_discards_redo_entry(self):
+        system, a, b, _c = build(unsafe_discard=True)
+        tx = system.begin_tx(0)
+        system.store_word(0, a, A1)
+        system.store_word(0, b, B1)
+        system.store_word(0, a, A2)
+        # Evict A's line all the way to NVMM: the buffered redo entry is
+        # created on the L1 eviction and dropped at the LLC write-back.
+        system.hierarchy.flush_line(a, system.core_time_ns[0])
+        assert system.stats.get("redo_llc_discards") == 1
+        assert len(system.logger.redo_buffer) == 0
+        assert system.persistent_word(a) == A2  # in-place data persisted
+
+    def test_step_e_commit_persists_everything(self):
+        system, a, b, c = build()
+        system.begin_tx(0)
+        system.store_word(0, a, A1)
+        system.store_word(0, b, B1)
+        system.store_word(0, a, A2)
+        system.store_word(0, c, C1)
+        system.end_tx(0)
+        state = system.recover(verify_decode=True)
+        assert len(state.persisted_txids) == 1
+        assert system.persistent_word(a) == A2
+        assert system.persistent_word(b) == B1
+        assert system.persistent_word(c) == 0

@@ -1,0 +1,76 @@
+"""Rendering/plumbing tests for the figure harness (no heavy runs)."""
+
+from collections import OrderedDict
+
+import pytest
+
+from repro.experiments import figures
+
+
+class TestNormalizedRows:
+    def _values(self):
+        return OrderedDict(
+            [
+                ("w1", OrderedDict([("FWB-CRADE", 2.0), ("MorLog-DP", 4.0)])),
+                ("w2", OrderedDict([("FWB-CRADE", 1.0), ("MorLog-DP", 1.0)])),
+            ]
+        )
+
+    def test_baseline_column_is_one(self):
+        headers, rows = figures._normalized_rows(self._values())
+        assert headers == ["workload", "FWB-CRADE", "MorLog-DP"]
+        assert rows[0][1] == pytest.approx(1.0)
+        assert rows[0][2] == pytest.approx(2.0)
+
+    def test_gmean_row_appended(self):
+        _headers, rows = figures._normalized_rows(self._values())
+        assert rows[-1][0] == "Gmean"
+        assert rows[-1][2] == pytest.approx(2.0 ** 0.5)
+
+    def test_normalized_table_renders(self):
+        text = figures.normalized_table(self._values(), "t")
+        assert "Gmean" in text and "t" in text
+
+
+class TestGridMetric:
+    def test_extracts_metric(self):
+        class R:
+            def __init__(self, v):
+                self.v = v
+
+        grid = {"w": {"a": R(1), "b": R(2)}}
+        out = figures._grid_metric(grid, lambda r: r.v * 10)
+        assert out["w"]["b"] == 20
+
+
+class TestConstants:
+    def test_macro_cells_match_paper_figure_14(self):
+        labels = [label for _w, _d, label in figures.MACRO_CELLS]
+        assert labels == [
+            "Echo-Small", "Echo-Large", "YCSB-Small", "YCSB-Large", "TPCC",
+        ]
+
+    def test_motivation_workloads_match_paper_figure_3(self):
+        # Figure 3's x axis: echo ycsb tpcc vacation ctree hashmap redis
+        # memcached.
+        assert set(figures.MOTIVATION_WORKLOADS) == {
+            "echo", "ycsb", "tpcc", "vacation", "ctree", "hash",
+            "redis", "memcached",
+        }
+
+    def test_micro_list_matches_table_iv(self):
+        assert figures.MICRO == ("btree", "hash", "queue", "rbtree", "sdg", "sps")
+
+    def test_design_names_order(self):
+        from repro.core.designs import DESIGN_NAMES
+
+        assert DESIGN_NAMES[0] == "FWB-CRADE"
+        assert DESIGN_NAMES[-1] == "MorLog-DP"
+
+
+class TestDatasetSize:
+    def test_item_words(self):
+        from repro.workloads.base import DatasetSize
+
+        assert DatasetSize.SMALL.item_words == 8
+        assert DatasetSize.LARGE.item_words == 512

@@ -1,0 +1,92 @@
+"""Persistent heap allocator tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import AllocationError
+from repro.heap.allocator import PersistentHeap
+
+
+class TestPmalloc:
+    def test_alignment(self):
+        heap = PersistentHeap(0x1000, 1 << 16)
+        for size in (1, 8, 63, 64, 65, 4000):
+            addr = heap.pmalloc(size)
+            assert addr % 64 == 0
+
+    def test_distinct_allocations(self):
+        heap = PersistentHeap(0x1000, 4096)
+        a = heap.pmalloc(64)
+        b = heap.pmalloc(64)
+        assert a != b
+
+    def test_no_overlap(self):
+        heap = PersistentHeap(0x1000, 1 << 20)
+        spans = []
+        for size in (8, 100, 64, 4096, 32):
+            addr = heap.pmalloc(size)
+            spans.append((addr, addr + size))
+        spans.sort()
+        for (a_start, a_end), (b_start, _b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+
+    def test_exhaustion(self):
+        heap = PersistentHeap(0x1000, 128)
+        heap.pmalloc(64)
+        heap.pmalloc(64)
+        with pytest.raises(AllocationError):
+            heap.pmalloc(1)
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            PersistentHeap(0x1001, 4096)
+
+
+class TestPfree:
+    def test_reuse_same_size_class(self):
+        heap = PersistentHeap(0x1000, 4096)
+        a = heap.pmalloc(64)
+        heap.pfree(a)
+        b = heap.pmalloc(64)
+        assert b == a
+
+    def test_no_reuse_across_size_classes(self):
+        heap = PersistentHeap(0x1000, 1 << 16)
+        a = heap.pmalloc(64)
+        heap.pfree(a)
+        b = heap.pmalloc(128)
+        assert b != a
+
+    def test_double_free_rejected(self):
+        heap = PersistentHeap(0x1000, 4096)
+        a = heap.pmalloc(64)
+        heap.pfree(a)
+        with pytest.raises(AllocationError):
+            heap.pfree(a)
+
+    def test_free_unknown_rejected(self):
+        heap = PersistentHeap(0x1000, 4096)
+        with pytest.raises(AllocationError):
+            heap.pfree(0x2000)
+
+    def test_allocated_bytes_tracks(self):
+        heap = PersistentHeap(0x1000, 4096)
+        a = heap.pmalloc(64)
+        assert heap.allocated_bytes == 64
+        heap.pfree(a)
+        assert heap.allocated_bytes == 0
+
+
+@given(st.lists(st.integers(min_value=1, max_value=512), max_size=40))
+def test_alloc_free_cycles_never_overlap_live(sizes):
+    heap = PersistentHeap(0x1000, 1 << 20)
+    live = {}
+    for i, size in enumerate(sizes):
+        addr = heap.pmalloc(size)
+        for other, other_size in live.items():
+            assert addr + size <= other or other + other_size <= addr
+        live[addr] = size
+        if i % 3 == 2:
+            victim = next(iter(live))
+            heap.pfree(victim)
+            del live[victim]

@@ -1,0 +1,277 @@
+"""FWB and MorLog logger behavior tests (paper sections II, III, V)."""
+
+import pytest
+
+from repro.cache.cacheline import LogState
+from repro.common.bitops import WORD_BYTES
+from tests.conftest import make_tiny_system
+
+
+def store(system, core, addr, value):
+    system.store_word(core, addr, value)
+
+
+def begin(system, core=0):
+    return system.begin_tx(core)
+
+
+class TestFwbLogger:
+    def test_entry_per_store(self):
+        system = make_tiny_system("FWB-CRADE")
+        base = system.config.nvmm_base
+        begin(system)
+        for i in range(8):
+            store(system, 0, base + 8 * i, i + 1)
+        system.end_tx(0)
+        # 8 undo+redo entries + 1 commit record.
+        assert system.stats.get("entries_appended") == 9
+
+    def test_buffer_coalesces_back_to_back_rewrites(self):
+        system = make_tiny_system("FWB-CRADE")
+        base = system.config.nvmm_base
+        begin(system)
+        store(system, 0, base, 1)
+        store(system, 0, base, 2)   # within the eager window: coalesces
+        system.end_tx(0)
+        assert system.stats.get("entries_appended") == 2  # 1 entry + commit
+        assert system.stats.get("coalesced") == 1
+
+    def test_aged_out_rewrite_logs_twice(self):
+        system = make_tiny_system("FWB-CRADE")
+        base = system.config.nvmm_base
+        begin(system)
+        store(system, 0, base, 1)
+        system.advance(0, 10_000)   # way past the eager window
+        store(system, 0, base, 2)
+        system.end_tx(0)
+        assert system.stats.get("entries_appended") == 3
+
+    def test_unsafe_variant_coalesces_across_time(self):
+        system = make_tiny_system("FWB-Unsafe")
+        base = system.config.nvmm_base
+        begin(system)
+        store(system, 0, base, 1)
+        system.advance(0, 10_000)
+        store(system, 0, base, 2)
+        system.end_tx(0)
+        assert system.stats.get("entries_appended") == 2
+
+    def test_commit_marks_tx(self):
+        system = make_tiny_system("FWB-CRADE")
+        begin(system)
+        store(system, 0, system.config.nvmm_base, 1)
+        tx = system.current_tx[0]
+        system.end_tx(0)
+        assert tx.committed and tx.commit_ns > 0
+
+    def test_slde_drops_silent_entries(self):
+        system = make_tiny_system("FWB-SLDE")
+        base = system.config.nvmm_base
+        system.setup_store(base, 7)
+        system.reset_measurement()
+        begin(system)
+        store(system, 0, base, 7)   # value unchanged
+        system.end_tx(0)
+        assert system.stats.get("silent_drops") == 1
+        assert system.stats.get("entries_appended") == 1  # commit only
+
+
+class TestMorLogStateMachine:
+    """The Figure 8 transitions, driven through real stores."""
+
+    def _fresh(self, design="MorLog-SLDE"):
+        system = make_tiny_system(design)
+        return system, system.config.nvmm_base
+
+    def _line(self, system, addr, core=0):
+        return system.hierarchy.l1s[core].lookup(addr, touch=False)
+
+    def test_clean_to_dirty_on_first_update(self):
+        system, base = self._fresh()
+        begin(system)
+        store(system, 0, base, 1)
+        line = self._line(system, base)
+        assert line.state(0) is LogState.DIRTY
+        assert line.txid == system.current_tx[0].txid
+
+    def test_dirty_to_urlog_on_persist(self):
+        system, base = self._fresh()
+        begin(system)
+        store(system, 0, base, 1)
+        system.advance(0, 1000)
+        system.logger.tick(system.core_time_ns[0])  # age out the entry
+        line = self._line(system, base)
+        assert line.state(0) is LogState.URLOG
+        assert line.word_dirty_flags[0] == 0
+
+    def test_urlog_to_ulog_on_rewrite(self):
+        system, base = self._fresh()
+        begin(system)
+        store(system, 0, base, 1)
+        system.advance(0, 1000)
+        store(system, 0, base, 0xFF00000001)
+        line = self._line(system, base)
+        assert line.state(0) is LogState.ULOG
+        # Flag covers bytes differing between 1 and 0xFF00000001.
+        assert line.word_dirty_flags[0] == 0b0001_0000
+
+    def test_ulog_accumulates_flags(self):
+        system, base = self._fresh()
+        begin(system)
+        store(system, 0, base, 1)
+        system.advance(0, 1000)
+        store(system, 0, base, 2)          # URLOG -> ULOG
+        store(system, 0, base, 0x0200)     # ULOG stays, flag grows
+        line = self._line(system, base)
+        assert line.state(0) is LogState.ULOG
+        assert line.word_dirty_flags[0] == 0b11
+
+    def test_silent_store_leaves_clean(self):
+        system, base = self._fresh()
+        system.setup_store(base, 42)
+        system.reset_measurement()
+        begin(system)
+        store(system, 0, base, 42)
+        line = self._line(system, base)
+        assert line.state(0) is LogState.CLEAN
+        assert system.stats.get("silent_stores") == 1
+
+    def test_without_slde_silent_store_still_logs(self):
+        system, base = self._fresh("MorLog-CRADE")
+        system.setup_store(base, 42)
+        system.reset_measurement()
+        begin(system)
+        store(system, 0, base, 42)
+        line = self._line(system, base)
+        assert line.state(0) is LogState.DIRTY
+
+    def test_dirty_rewrite_coalesces_in_buffer(self):
+        system, base = self._fresh()
+        begin(system)
+        store(system, 0, base, 1)
+        store(system, 0, base, 2)   # DIRTY -> DIRTY (coalesce)
+        system.end_tx(0)
+        # One undo+redo entry + commit; no redo entry needed.
+        assert system.stats.get("entries_appended") == 2
+
+    def test_ulog_word_produces_one_redo_entry_at_commit(self):
+        system, base = self._fresh()
+        begin(system)
+        store(system, 0, base, 1)
+        system.advance(0, 1000)
+        store(system, 0, base, 2)
+        store(system, 0, base, 3)
+        system.end_tx(0)
+        # undo+redo + redo + commit.
+        assert system.stats.get("entries_appended") == 3
+        # The redo entry carries the newest value.
+        records = system.recover(verify_decode=False).records
+        redo_records = [r for r in records if r.meta.type.name == "REDO"]
+        assert len(redo_records) == 1
+        assert redo_records[0].redo == 3
+
+    def test_new_tx_on_ulog_word_emits_redo_for_old_tx(self):
+        system, base = self._fresh()
+        begin(system)
+        store(system, 0, base, 1)
+        system.advance(0, 1000)
+        store(system, 0, base, 2)
+        tx1 = system.current_tx[0]
+        # Delay-persistence off: commit flushes; use a second word to keep
+        # ULOG alive across commit instead.
+        system.config  # (commit would flush; test the close-out path pre-commit)
+        # New transaction on the same core touches the same line.
+        system.end_tx(0)
+        begin(system)
+        store(system, 0, base, 5)
+        line = self._line(system, base)
+        assert line.txid == system.current_tx[0].txid
+        assert line.state(0) is LogState.DIRTY
+        system.end_tx(0)
+
+    def test_l1_eviction_closes_out_line(self):
+        system, base = self._fresh()
+        begin(system)
+        store(system, 0, base, 1)
+        system.advance(0, 1000)
+        store(system, 0, base, 2)   # ULOG
+        # Force the line out of the tiny L1 by touching many lines in the
+        # same set.
+        n_sets = system.config.caches.l1.n_sets
+        for i in range(1, system.config.caches.l1.assoc + 2):
+            store(system, 0, base + i * n_sets * 64, i)
+        before_commit = system.stats.get("entries_appended")
+        assert before_commit >= 2  # undo+redo persisted + redo emitted path
+        system.end_tx(0)
+
+    def test_commit_clears_tx_lines(self):
+        system, base = self._fresh()
+        begin(system)
+        store(system, 0, base, 1)
+        tx = system.current_tx[0]
+        system.end_tx(0)
+        assert (tx.tid, tx.txid) not in system.logger._tx_lines
+
+
+class TestDelayPersistenceCommit:
+    def test_commit_record_carries_ulog_counter(self):
+        system = make_tiny_system("MorLog-DP")
+        base = system.config.nvmm_base
+        begin(system)
+        store(system, 0, base, 1)
+        system.advance(0, 1000)
+        store(system, 0, base, 2)      # ULOG at commit
+        store(system, 0, base + 8, 3)  # DIRTY at commit (flushed)
+        system.end_tx(0)
+        records = system.recover(verify_decode=False).records
+        commits = [r for r in records if r.meta.type.name == "COMMIT"]
+        assert len(commits) == 1
+        assert commits[0].meta.ulog_counter == 1
+
+    def test_ulog_word_keeps_state_after_commit(self):
+        system = make_tiny_system("MorLog-DP")
+        base = system.config.nvmm_base
+        begin(system)
+        store(system, 0, base, 1)
+        system.advance(0, 1000)
+        store(system, 0, base, 2)
+        system.end_tx(0)
+        line = system.hierarchy.l1s[0].lookup(base, touch=False)
+        assert line.state(0) is LogState.ULOG
+
+    def test_drain_emits_pending_redo(self):
+        system = make_tiny_system("MorLog-DP")
+        base = system.config.nvmm_base
+        begin(system)
+        store(system, 0, base, 1)
+        system.advance(0, 1000)
+        store(system, 0, base, 2)
+        system.end_tx(0)
+        system.logger.drain(system.core_time_ns[0])
+        records = system.recover(verify_decode=False).records
+        redo_records = [r for r in records if r.meta.type.name == "REDO"]
+        assert len(redo_records) == 1
+        # Now the transaction is persisted.
+        assert system.recover(verify_decode=False).persisted_txids
+
+
+class TestWalOrdering:
+    """In-place data must never reach NVMM before their undo data."""
+
+    @pytest.mark.parametrize("design", ["FWB-CRADE", "MorLog-SLDE"])
+    def test_fwb_scan_flushes_entries_first(self, design):
+        system = make_tiny_system(design)
+        base = system.config.nvmm_base
+        system.setup_store(base, 0xAAAA)
+        system.reset_measurement()
+        begin(system)
+        store(system, 0, base, 0xBBBB)
+        # Two scans force the dirty line to NVMM while the tx is open.
+        t = system.core_time_ns[0]
+        system.hierarchy.force_write_back_scan(t)
+        system.hierarchy.force_write_back_scan(t)
+        assert system.persistent_word(base) == 0xBBBB
+        # The undo value must be recoverable: crash now, roll back.
+        state = system.recover(verify_decode=False)
+        assert not state.committed_txids
+        assert system.persistent_word(base) == 0xAAAA

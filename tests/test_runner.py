@@ -1,0 +1,66 @@
+"""Experiment runner plumbing tests (scale env var, param threading)."""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import (
+    DEFAULT_PARAMS,
+    ExperimentScale,
+    _scale,
+    default_config,
+    run_design,
+)
+from repro.workloads.base import DatasetSize
+
+
+class TestScaleEnv:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert _scale() == 1.0
+
+    def test_env_scale_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        scale = ExperimentScale(micro_transactions=100)
+        assert scale.transactions(False, DatasetSize.SMALL) == 50
+
+    def test_bad_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "lots")
+        assert _scale() == 1.0
+
+    def test_floor_of_ten(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.0001")
+        scale = ExperimentScale()
+        assert scale.transactions(False, DatasetSize.SMALL) == 10
+
+
+class TestRunDesignPlumbing:
+    def test_explicit_counts_override_scale(self):
+        result = run_design(
+            "FWB-CRADE",
+            "queue",
+            DatasetSize.SMALL,
+            n_transactions=15,
+            n_threads=1,
+        )
+        assert result.transactions == 15
+
+    def test_dataset_threads_into_params(self):
+        result = run_design(
+            "MorLog-SLDE",
+            "queue",
+            DatasetSize.LARGE,
+            n_transactions=5,
+            n_threads=1,
+        )
+        # Large items (512 words) produce far more stores per tx.
+        assert result.stats["stores"] > 5 * 100
+
+    def test_default_config_log_region(self):
+        config = default_config()
+        assert config.logging.log_region_bytes == 8 * 1024 * 1024
+        config.validate()
+
+    def test_default_params_reasonable(self):
+        assert DEFAULT_PARAMS.initial_items > 0
+        assert DEFAULT_PARAMS.key_space > DEFAULT_PARAMS.initial_items

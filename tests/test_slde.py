@@ -1,0 +1,154 @@
+"""SLDE selection logic, CRADE and Flip-N-Write tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitops import WORD_MASK, dirty_byte_mask, flipped_bits
+from repro.encoding.base import RawCodec
+from repro.encoding.crade import CradeCodec
+from repro.encoding.flipnwrite import FlipNWriteCodec
+from repro.encoding.slde import ENCODING_TYPE_FLAG_BITS, LogWriteContext, SldeCodec
+from repro.encoding import make_codec
+
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestCrade:
+    @given(words)
+    def test_roundtrip(self, w):
+        codec = CradeCodec()
+        assert codec.decode(codec.encode(w)) == w
+
+    def test_compressible_word_expands(self):
+        from repro.encoding.expansion import ExpansionPolicy
+
+        encoded = CradeCodec().encode(0x7F)  # 8-bit payload
+        assert encoded.policy is ExpansionPolicy.EXPAND1
+
+    def test_incompressible_word_raw(self):
+        from repro.encoding.expansion import ExpansionPolicy
+
+        encoded = CradeCodec().encode(0x0123_4567_89AB_CDEF)
+        assert encoded.policy is ExpansionPolicy.RAW
+
+    def test_expansion_disabled(self):
+        from repro.encoding.expansion import ExpansionPolicy
+
+        encoded = CradeCodec(expansion_enabled=False).encode(0x7F)
+        assert encoded.policy is ExpansionPolicy.RAW
+
+
+class TestFlipNWrite:
+    @given(words, words)
+    def test_roundtrip(self, w, old):
+        codec = FlipNWriteCodec()
+        assert codec.decode(codec.encode(w, old), old) == w
+
+    @given(words, words)
+    def test_never_flips_more_than_half(self, w, old):
+        codec = FlipNWriteCodec()
+        encoded = codec.encode(w, old)
+        stored = encoded.payload
+        assert flipped_bits(old, stored) <= max(
+            flipped_bits(old, w), flipped_bits(old, w ^ WORD_MASK)
+        )
+
+    def test_flips_when_beneficial(self):
+        old = 0
+        new = WORD_MASK  # flipping all 64 bits; inverse flips none
+        encoded = FlipNWriteCodec().encode(new, old)
+        assert encoded.tag_payload == 1
+        assert encoded.payload == 0
+
+
+class TestSldeSelection:
+    def test_silent_log_write_dropped(self):
+        slde = SldeCodec()
+        ctx = LogWriteContext(old_word=5, dirty_mask=0)
+        assert slde.encode_log(5, ctx).silent
+
+    def test_dldc_wins_on_sparse_diff(self):
+        slde = SldeCodec()
+        old = 0x1111_1111_1111_1111
+        new = 0x1111_1111_1111_1119  # one dirty byte, incompressible by FPC
+        ctx = LogWriteContext(old_word=old, dirty_mask=dirty_byte_mask(old, new))
+        assert slde.encode_log(new, ctx).method == "dldc"
+
+    def test_alternative_wins_on_compressible_word(self):
+        slde = SldeCodec()
+        old = 0xFFFF_FFFF_FFFF_FFFF
+        new = 0  # all bytes dirty, but FPC compresses zero to nothing
+        ctx = LogWriteContext(old_word=old, dirty_mask=0xFF)
+        assert slde.encode_log(new, ctx).method == "crade"
+
+    def test_dldc_disallowed_falls_back(self):
+        slde = SldeCodec()
+        old = 0x1111_1111_1111_1111
+        new = 0x1111_1111_1111_1119
+        ctx = LogWriteContext(
+            old_word=old, dirty_mask=dirty_byte_mask(old, new), allow_dldc=False
+        )
+        assert slde.encode_log(new, ctx).method == "crade"
+
+    @given(words, words)
+    def test_selected_encoding_decodes(self, old, new):
+        slde = SldeCodec()
+        ctx = LogWriteContext(old_word=old, dirty_mask=dirty_byte_mask(old, new))
+        encoded = slde.encode_log(new, ctx)
+        if encoded.silent:
+            assert old == new
+        else:
+            assert slde.decode(encoded, old) == new
+
+    @given(words, words)
+    def test_selection_is_cost_minimal(self, old, new):
+        slde = SldeCodec()
+        mask = dirty_byte_mask(old, new)
+        if mask == 0:
+            return
+        encoded = slde.encode_log(new, LogWriteContext(old_word=old, dirty_mask=mask))
+        alt = slde.alternative.encode(new)
+        dldc = slde.dldc.encode_log(new, mask)
+        best = min(alt.total_bits, dldc.total_bits)
+        assert encoded.total_bits <= best + ENCODING_TYPE_FLAG_BITS
+
+
+class TestUndoRedoPairRule:
+    """The paper never DLDC-compresses both sides of one entry (IV-B)."""
+
+    @given(words, words)
+    def test_never_both_dldc(self, undo, redo):
+        slde = SldeCodec()
+        mask = dirty_byte_mask(undo, redo)
+        undo_enc, redo_enc = slde.encode_undo_redo_pair(undo, redo, mask)
+        if not (undo_enc.silent or redo_enc.silent):
+            assert not (undo_enc.method == "dldc" and redo_enc.method == "dldc")
+
+    @given(words, words)
+    def test_pair_decodes_against_each_other(self, undo, redo):
+        slde = SldeCodec()
+        mask = dirty_byte_mask(undo, redo)
+        undo_enc, redo_enc = slde.encode_undo_redo_pair(undo, redo, mask)
+        if not undo_enc.silent:
+            assert slde.decode(undo_enc, redo) == undo
+        if not redo_enc.silent:
+            assert slde.decode(redo_enc, undo) == redo
+
+
+class TestCodecFactory:
+    @pytest.mark.parametrize(
+        "name,cls_name",
+        [
+            ("raw", "RawCodec"),
+            ("fpc", "FpcCodec"),
+            ("crade", "CradeCodec"),
+            ("flip-n-write", "FlipNWriteCodec"),
+            ("slde", "SldeCodec"),
+        ],
+    )
+    def test_known_names(self, name, cls_name):
+        assert type(make_codec(name)).__name__ == cls_name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_codec("zstd")

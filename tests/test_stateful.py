@@ -1,0 +1,190 @@
+"""Model-based (stateful) property tests.
+
+Two machines:
+
+- :class:`DurableMemoryMachine` drives random begin/store/load/commit
+  traffic against the simulated machine and an in-Python oracle, checking
+  read values continuously and crash-recovering at teardown: everything
+  the oracle says is committed must be in NVMM, and in-flight updates
+  must have vanished.
+- :class:`LogRegionMachine` exercises the circular log region against a
+  reference deque: appends, truncations and rescans must agree.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.common.stats import StatGroup
+from repro.core.designs import make_system
+from repro.logging_hw.entries import CommitRecord, EntryType, LogEntry
+from repro.logging_hw.recovery import scan_log
+from repro.logging_hw.region import LogRegion
+from repro.memory.controller import MemoryController
+from tests.conftest import tiny_config
+
+N_WORDS = 24
+N_THREADS = 2
+
+
+class DurableMemoryMachine(RuleBasedStateMachine):
+    design = "MorLog-SLDE"
+
+    def __init__(self):
+        super().__init__()
+        self.system = make_system(self.design, tiny_config())
+        self.base = self.system.config.nvmm_base
+        self.committed = {}    # addr -> value at last commit
+        self.pending = [dict() for _ in range(N_THREADS)]
+        self.in_tx = [False] * N_THREADS
+
+    def _addr(self, slot):
+        return self.base + 8 * (slot % N_WORDS)
+
+    @rule(tid=st.integers(0, N_THREADS - 1))
+    def begin(self, tid):
+        if not self.in_tx[tid]:
+            self.system.begin_tx(tid)
+            self.in_tx[tid] = True
+
+    @precondition(lambda self: any(self.in_tx))
+    @rule(tid=st.integers(0, N_THREADS - 1), slot=st.integers(0, N_WORDS - 1),
+          value=st.integers(0, (1 << 64) - 1))
+    def store(self, tid, slot, value):
+        if not self.in_tx[tid]:
+            return
+        addr = self._addr(slot)
+        # Threads own disjoint word sets (software isolation, §III-A).
+        if slot % N_THREADS != tid:
+            return
+        self.system.store_word(tid, addr, value)
+        self.pending[tid][addr] = value
+
+    @rule(tid=st.integers(0, N_THREADS - 1), slot=st.integers(0, N_WORDS - 1))
+    def load_checks_architectural_value(self, tid, slot):
+        if slot % N_THREADS != tid:
+            return
+        addr = self._addr(slot)
+        expected = self.pending[tid].get(addr) if self.in_tx[tid] else None
+        if expected is None:
+            expected = self.committed.get(addr, 0)
+        assert self.system.load_word(tid, addr) == expected
+
+    @rule(tid=st.integers(0, N_THREADS - 1))
+    def commit(self, tid):
+        if not self.in_tx[tid]:
+            return
+        self.system.end_tx(tid)
+        self.in_tx[tid] = False
+        self.committed.update(self.pending[tid])
+        self.pending[tid].clear()
+
+    @invariant()
+    def log_region_never_leaks(self):
+        assert self.system.log_region.free_slots() >= 0
+
+    def teardown(self):
+        # Power loss: volatile state gone; recovery must restore exactly
+        # the committed oracle for every word ever committed, and roll
+        # back any in-flight transaction.
+        state = self.system.recover(verify_decode=True)
+        for addr, value in self.committed.items():
+            assert self.system.persistent_word(addr) == value, hex(addr)
+        # In-flight words not previously committed must be back to 0.
+        for tid in range(N_THREADS):
+            for addr in self.pending[tid]:
+                if addr not in self.committed:
+                    assert self.system.persistent_word(addr) == 0
+
+
+class DurableMemoryMachineDP(DurableMemoryMachine):
+    """Same machine under the delay-persistence protocol.
+
+    DP sacrifices a committed *suffix* at the crash, so teardown checks
+    the persisted prefix only.
+    """
+
+    design = "MorLog-DP"
+
+    def teardown(self):
+        state = self.system.recover(verify_decode=True)
+        # Atomicity: every persistent word equals either its committed
+        # value or a value from before some suffix of transactions.
+        # Strong prefix check: persisted txids form a prefix of commits.
+        # (The oracle cannot reconstruct per-tx write sets here, so the
+        # detailed all-or-nothing matrix lives in test_crash_recovery.)
+        records = state.records
+        committed_order = [
+            r.meta.txid for r in records if r.meta.type.name == "COMMIT"
+        ]
+        flags = [txid in state.persisted_txids for txid in committed_order]
+        if False in flags:
+            assert True not in flags[flags.index(False):]
+
+
+class LogRegionMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        config = tiny_config()
+        self.controller = MemoryController(config, StatGroup("t"))
+        self.region = LogRegion(
+            self.controller, 0x9000_0000, 4096, StatGroup("t")
+        )
+        self.reference = []   # list of (txid, kind)
+        self.next_txid = 1
+
+    @rule(kind=st.sampled_from(["ur", "redo", "commit"]))
+    def append(self, kind):
+        if self.region.free_slots() < 8:
+            return
+        txid = self.next_txid
+        self.next_txid += 1
+        if kind == "ur":
+            record = LogEntry(EntryType.UNDO_REDO, 0, txid, 0x100, 2, 1)
+        elif kind == "redo":
+            record = LogEntry(EntryType.REDO, 0, txid, 0x100, 2)
+        else:
+            record = CommitRecord(tid=0, txid=txid)
+        self.region.append(record, 0.0)
+        self.reference.append((txid, kind))
+
+    @rule(count=st.integers(0, 6))
+    def truncate_prefix(self, count):
+        eligible = {txid for txid, _k in self.reference[:count]}
+        freed = self.region.truncate(lambda e: e.txid in eligible, 0.0)
+        del self.reference[:freed]
+
+    @invariant()
+    def scan_matches_reference(self):
+        records = scan_log(self.controller, self.region.base_addr, 4096)
+        assert len(records) == len(self.reference)
+        for record, (txid, kind) in zip(records, self.reference):
+            assert record.meta.txid == txid
+            expected = {
+                "ur": EntryType.UNDO_REDO,
+                "redo": EntryType.REDO,
+                "commit": EntryType.COMMIT,
+            }[kind]
+            assert record.meta.type is expected
+
+
+TestDurableMemory = DurableMemoryMachine.TestCase
+TestDurableMemory.settings = settings(
+    max_examples=12, stateful_step_count=40, deadline=None
+)
+TestDurableMemoryDP = DurableMemoryMachineDP.TestCase
+TestDurableMemoryDP.settings = settings(
+    max_examples=8, stateful_step_count=30, deadline=None
+)
+TestLogRegion = LogRegionMachine.TestCase
+TestLogRegion.settings = settings(
+    max_examples=10, stateful_step_count=40, deadline=None
+)

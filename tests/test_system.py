@@ -1,0 +1,217 @@
+"""System assembly, run loop, design factory and config tests."""
+
+import pytest
+
+from repro.common.config import LoggingConfig, SystemConfig
+from repro.common.errors import ConfigError
+from repro.core.designs import DESIGN_NAMES, make_system
+from repro.logging_hw.fwb import FwbLogger
+from repro.logging_hw.morlog import MorLogLogger
+from repro.workloads.base import WorkloadParams, make_workload
+from tests.conftest import make_tiny_system, tiny_config
+
+
+class TestConfig:
+    def test_default_validates(self):
+        SystemConfig().validate()
+
+    def test_bad_watermark_rejected(self):
+        from dataclasses import replace
+
+        config = SystemConfig()
+        bad = config.with_changes(nvm=replace(config.nvm, drain_watermark=1.5))
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_bad_codec_rejected(self):
+        from dataclasses import replace
+
+        config = SystemConfig()
+        bad = config.with_changes(
+            encoding=replace(config.encoding, data_codec="lz4")
+        )
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_table_iii_cache_sizes(self):
+        config = SystemConfig()
+        assert config.caches.l1.size_bytes == 32 * 1024
+        assert config.caches.l2.size_bytes == 256 * 1024
+        assert config.caches.l3.size_bytes == 8 * 1024 * 1024
+        assert (config.caches.l1.latency_cycles,
+                config.caches.l2.latency_cycles,
+                config.caches.l3.latency_cycles) == (4, 12, 28)
+
+    def test_table_iii_memory_geometry(self):
+        config = SystemConfig()
+        assert config.nvm.channels == 4
+        assert config.nvm.banks == 8
+        assert config.nvm.write_queue_entries == 64
+        assert config.nvm.drain_watermark == 0.8
+        assert config.nvm.read_latency_ns == 25.0
+
+    def test_default_buffer_sizes(self):
+        config = SystemConfig()
+        assert config.logging.undo_redo_buffer_entries == 16
+        assert config.logging.redo_buffer_entries == 32
+
+
+class TestDesignFactory:
+    def test_all_designs_buildable(self):
+        for name in DESIGN_NAMES:
+            system = make_system(name, tiny_config())
+            assert system.design_name == name
+
+    def test_fwb_designs_use_fwb_logger(self):
+        assert isinstance(make_system("FWB-CRADE", tiny_config()).logger, FwbLogger)
+        assert isinstance(make_system("FWB-SLDE", tiny_config()).logger, FwbLogger)
+
+    def test_morlog_designs_use_morlog_logger(self):
+        assert isinstance(
+            make_system("MorLog-SLDE", tiny_config()).logger, MorLogLogger
+        )
+
+    def test_unsafe_buffer_size(self):
+        system = make_system("FWB-Unsafe", tiny_config())
+        assert system.logger.buffer.capacity == 16 + 32
+        assert not system.logger.eager
+
+    def test_codec_assignment(self):
+        assert make_system("FWB-CRADE", tiny_config()).config.encoding.log_codec == "crade"
+        assert make_system("MorLog-SLDE", tiny_config()).config.encoding.log_codec == "slde"
+
+    def test_dp_flag(self):
+        assert make_system("MorLog-DP", tiny_config()).config.logging.delay_persistence
+        assert not make_system("MorLog-SLDE", tiny_config()).config.logging.delay_persistence
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ConfigError):
+            make_system("MorLog-Turbo", tiny_config())
+
+
+class TestSystemBasics:
+    def test_load_reads_setup_value(self):
+        system = make_tiny_system()
+        addr = system.config.nvmm_base
+        system.setup_store(addr, 99)
+        assert system.load_word(0, addr) == 99
+
+    def test_store_visible_to_load(self):
+        system = make_tiny_system()
+        addr = system.config.nvmm_base
+        system.store_word(0, addr, 5)
+        assert system.load_word(0, addr) == 5
+
+    def test_clock_advances(self):
+        system = make_tiny_system()
+        system.load_word(0, system.config.nvmm_base)
+        assert system.core_time_ns[0] > 0
+
+    def test_dram_routing(self):
+        system = make_tiny_system()
+        dram_addr = 0x1000
+        assert not system.controller.is_persistent(dram_addr)
+        system.store_word(0, dram_addr, 3)
+        system.hierarchy.drain_all(system.core_time_ns[0])
+        assert system.controller.dram.read_word(dram_addr) == 3
+
+    def test_nested_tx_flattened(self):
+        system = make_tiny_system()
+        tx1 = system.begin_tx(0)
+        tx2 = system.begin_tx(0)
+        assert tx1 is tx2
+        assert system.stats.get("nested_tx_flattened") == 1
+        system.end_tx(0)
+
+    def test_end_without_begin_rejected(self):
+        system = make_tiny_system()
+        with pytest.raises(RuntimeError):
+            system.end_tx(0)
+
+    def test_reset_measurement_clears(self):
+        system = make_tiny_system()
+        system.store_word(0, system.config.nvmm_base, 1)
+        system.reset_measurement()
+        assert system.stats.get("stores") == 0
+        assert system.core_time_ns[0] == 0.0
+
+
+class TestRunLoop:
+    def test_run_returns_metrics(self):
+        system = make_tiny_system()
+        workload = make_workload(
+            "queue", WorkloadParams(initial_items=16, key_space=64)
+        )
+        result = system.run(workload, 30, n_threads=2)
+        assert result.transactions == 30
+        assert result.elapsed_ns > 0
+        assert result.throughput_tx_per_s > 0
+        assert result.nvmm_writes > 0
+
+    def test_threads_balanced(self):
+        system = make_tiny_system()
+        workload = make_workload(
+            "sps", WorkloadParams(initial_items=32, key_space=64)
+        )
+        system.run(workload, 40, n_threads=4)
+        times = system.core_time_ns[:4]
+        assert max(times) > 0
+        assert min(times) > 0.3 * max(times)  # min-time dispatch balances
+
+    def test_too_many_threads_rejected(self):
+        system = make_tiny_system()
+        workload = make_workload("queue")
+        with pytest.raises(ValueError):
+            system.run(workload, 5, n_threads=64)
+
+    def test_fwb_scan_triggers_and_truncates(self):
+        system = make_tiny_system(fwb_interval_cycles=1_500)
+        workload = make_workload(
+            "hash", WorkloadParams(initial_items=32, key_space=64)
+        )
+        system.run(workload, 150, n_threads=2)
+        assert system.stats.get("fwb_scans") >= 2
+        assert system.stats.get("entries_truncated") > 0
+
+    def test_log_overflow_recovers_via_emergency_scan(self):
+        system = make_tiny_system(log_region_bytes=8192)
+        workload = make_workload(
+            "hash", WorkloadParams(initial_items=16, key_space=32)
+        )
+        result = system.run(workload, 120, n_threads=2)
+        assert result.transactions == 120
+        assert system.stats.get("log_overflow_scans") > 0
+
+    def test_deterministic_across_runs(self):
+        def run_once():
+            system = make_tiny_system()
+            workload = make_workload(
+                "btree", WorkloadParams(initial_items=32, key_space=128, seed=5)
+            )
+            return system.run(workload, 50, n_threads=2)
+
+        a, b = run_once(), run_once()
+        assert a.elapsed_ns == b.elapsed_ns
+        assert a.nvmm_writes == b.nvmm_writes
+        assert a.stats == b.stats
+
+
+class TestCleanShutdownRecovery:
+    """After drain, recovery must be a no-op on the data."""
+
+    @pytest.mark.parametrize("design", ["FWB-CRADE", "MorLog-SLDE", "MorLog-DP"])
+    def test_recovery_after_clean_run_preserves_values(self, design):
+        system = make_tiny_system(design)
+        workload = make_workload(
+            "hash", WorkloadParams(initial_items=24, key_space=48, seed=2)
+        )
+        result = system.run(workload, 60, n_threads=2)
+        # Snapshot the architectural state of all logged words.
+        records = system.recover(verify_decode=False).records
+        touched = {
+            r.meta.addr for r in records if r.meta.type.name != "COMMIT"
+        }
+        before = {a: system.persistent_word(a) for a in touched}
+        state = system.recover(verify_decode=True)
+        for addr, value in before.items():
+            assert system.persistent_word(addr) == value

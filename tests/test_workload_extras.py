@@ -1,0 +1,225 @@
+"""Correctness of the WHISPER-extra workloads: ctree, vacation, redis,
+memcached."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.heap.allocator import PersistentHeap
+from repro.workloads.ctree import PersistentCritBitTree
+from repro.workloads.memcached import PersistentLruCache
+from repro.workloads.redis import RedisStore
+from repro.workloads.vacation import RESOURCE_TYPES, VacationSystem
+from tests.test_workload_trees import DictContext
+
+
+def fresh(cls, *args, **kwargs):
+    heap = PersistentHeap(0x1000, 1 << 24)
+    ctx = DictContext()
+    obj = cls(heap, *args, **kwargs)
+    if hasattr(obj, "create"):
+        obj.create(ctx)
+    return obj, ctx, heap
+
+
+class TestCritBitTree:
+    def test_insert_lookup(self):
+        tree, ctx, _h = fresh(PersistentCritBitTree, 8)
+        for key in (5, 3, 9, 1024, 0xFFFF):
+            tree.insert(ctx, key, [key] * 6)
+        for key in (5, 3, 9, 1024, 0xFFFF):
+            assert tree.lookup(ctx, key) is not None
+        assert tree.lookup(ctx, 4) is None
+
+    def test_update_existing(self):
+        tree, ctx, _h = fresh(PersistentCritBitTree, 8)
+        a = tree.insert(ctx, 5, [1] * 6)
+        b = tree.insert(ctx, 5, [2] * 6)
+        assert a == b
+
+    def test_delete(self):
+        tree, ctx, _h = fresh(PersistentCritBitTree, 8)
+        for key in (1, 2, 3):
+            tree.insert(ctx, key, [0] * 6)
+        assert tree.delete(ctx, 2)
+        assert tree.lookup(ctx, 2) is None
+        assert tree.lookup(ctx, 1) and tree.lookup(ctx, 3)
+        assert not tree.delete(ctx, 2)
+
+    def test_delete_root_leaf(self):
+        tree, ctx, _h = fresh(PersistentCritBitTree, 8)
+        tree.insert(ctx, 7, [0] * 6)
+        assert tree.delete(ctx, 7)
+        assert list(tree.items(ctx)) == []
+
+    def test_items_cover_all_keys(self):
+        tree, ctx, _h = fresh(PersistentCritBitTree, 8)
+        rng = random.Random(1)
+        keys = {rng.randrange(1, 1 << 48) for _ in range(300)}
+        for key in keys:
+            tree.insert(ctx, key, [0] * 6)
+        assert set(tree.items(ctx)) == keys
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(1, 64)), max_size=80))
+    def test_matches_set_oracle(self, ops):
+        tree, ctx, _h = fresh(PersistentCritBitTree, 8)
+        oracle = set()
+        for insert, key in ops:
+            if insert:
+                tree.insert(ctx, key, [0] * 6)
+                oracle.add(key)
+            else:
+                assert tree.delete(ctx, key) == (key in oracle)
+                oracle.discard(key)
+        assert set(tree.items(ctx)) == oracle
+
+
+class TestVacation:
+    def _system(self):
+        heap = PersistentHeap(0x1000, 1 << 24)
+        ctx = DictContext()
+        system = VacationSystem(heap, 8, n_resources=16, n_customers=8)
+        system.populate(ctx, random.Random(0))
+        return system, ctx
+
+    def test_reservation_conservation(self):
+        """Sum of resource `used` equals sum of customer reservations."""
+        system, ctx = self._system()
+        rng = random.Random(1)
+        for _ in range(40):
+            if rng.random() < 0.7:
+                system.make_reservation(ctx, rng, [0] * 6)
+            else:
+                system.delete_customer(ctx, rng)
+            assert system.total_used(ctx) == system.total_reservations(ctx)
+
+    def test_used_never_exceeds_total(self):
+        system, ctx = self._system()
+        rng = random.Random(2)
+        for _ in range(200):
+            system.make_reservation(ctx, rng, [0] * 6)
+        for table in range(RESOURCE_TYPES):
+            for i in range(system.n_resources):
+                rec = system.resource_rec(table, i)
+                assert ctx.load(rec + 16) <= ctx.load(rec + 8)
+
+    def test_delete_customer_releases_all(self):
+        system, ctx = self._system()
+        rng = random.Random(3)
+        for _ in range(20):
+            system.make_reservation(ctx, rng, [0] * 6)
+        for c in range(system.n_customers):
+            # Force-delete every customer via a rigged rng.
+            class Fixed:
+                def randrange(self, n):
+                    return c % n
+
+            system.delete_customer(ctx, Fixed())
+        assert system.total_used(ctx) == 0
+        assert system.total_reservations(ctx) == 0
+
+
+class TestRedis:
+    def test_set_get(self):
+        store, ctx, _h = fresh(RedisStore, 8)
+        store.set(ctx, 5, [1, 2, 3, 4, 5, 6])
+        assert store.get(ctx, 5) == [1, 2, 3, 4, 5, 6]
+        assert store.get(ctx, 9) is None
+
+    def test_incr_semantics(self):
+        store, ctx, _h = fresh(RedisStore, 8)
+        assert store.incr(ctx, 7) == 1
+        assert store.incr(ctx, 7) == 2
+        assert store.incr(ctx, 7) == 3
+        assert store.get(ctx, 7)[0] == 3
+
+    def test_list_push_pop_fifo(self):
+        store, ctx, _h = fresh(RedisStore, 8)
+        for i in range(3):
+            store.lpush(ctx, 0, [i] * 7)
+        assert store.rpop(ctx, 0)[0] == 0
+        assert store.rpop(ctx, 0)[0] == 1
+
+    def test_rpop_empty(self):
+        store, ctx, _h = fresh(RedisStore, 8)
+        assert store.rpop(ctx, 3) is None
+
+
+class TestMemcached:
+    def test_set_get(self):
+        cache, ctx, _h = fresh(PersistentLruCache, 8, 4)
+        cache.set(ctx, 5, [1] * 4)
+        assert cache.get(ctx, 5) == [1] * 4
+        assert cache.get(ctx, 6) is None
+
+    def test_capacity_evicts_lru(self):
+        cache, ctx, _h = fresh(PersistentLruCache, 8, 3)
+        for key in (1, 2, 3):
+            cache.set(ctx, key, [key] * 4)
+        cache.get(ctx, 1)           # promote 1; LRU is now 2
+        cache.set(ctx, 4, [4] * 4)  # evicts 2
+        assert cache.get(ctx, 2) is None
+        assert cache.get(ctx, 1) is not None
+        assert cache.count(ctx) == 3
+
+    def test_get_promotes(self):
+        cache, ctx, _h = fresh(PersistentLruCache, 8, 4)
+        for key in (1, 2, 3):
+            cache.set(ctx, key, [0] * 4)
+        cache.get(ctx, 1)
+        assert next(iter(cache.keys_lru_order(ctx))) == 1
+
+    def test_update_existing_promotes_and_keeps_count(self):
+        cache, ctx, _h = fresh(PersistentLruCache, 8, 4)
+        cache.set(ctx, 1, [1] * 4)
+        cache.set(ctx, 2, [2] * 4)
+        cache.set(ctx, 1, [9] * 4)
+        assert cache.count(ctx) == 2
+        assert cache.get(ctx, 1) == [9] * 4
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(1, 12)), max_size=60))
+    def test_matches_lru_oracle(self, ops):
+        from collections import OrderedDict
+
+        capacity = 4
+        cache, ctx, _h = fresh(PersistentLruCache, 8, capacity)
+        oracle: "OrderedDict[int, list]" = OrderedDict()
+        for is_get, key in ops:
+            if is_get:
+                got = cache.get(ctx, key)
+                if key in oracle:
+                    oracle.move_to_end(key, last=False)
+                    assert got == oracle[key]
+                else:
+                    assert got is None
+            else:
+                values = [key] * 4
+                cache.set(ctx, key, values)
+                if key in oracle:
+                    oracle[key] = values
+                    oracle.move_to_end(key, last=False)
+                else:
+                    if len(oracle) >= capacity:
+                        oracle.popitem(last=True)
+                    oracle[key] = values
+                    oracle.move_to_end(key, last=False)
+        assert list(cache.keys_lru_order(ctx)) == list(oracle.keys())
+
+
+class TestWorkloadsRunOnSystem:
+    @pytest.mark.parametrize("name", ["ctree", "vacation", "redis", "memcached"])
+    def test_runs_and_recovers(self, name):
+        from repro.workloads.base import WorkloadParams, make_workload
+        from tests.conftest import make_tiny_system
+
+        system = make_tiny_system("MorLog-SLDE")
+        workload = make_workload(
+            name, WorkloadParams(initial_items=24, key_space=64, seed=8)
+        )
+        result = system.run(workload, 40, n_threads=2)
+        assert result.transactions == 40
+        state = system.recover(verify_decode=True)
+        assert len(state.persisted_txids) == 40

@@ -1,0 +1,263 @@
+"""Correctness of hash map, queue, graph, array and macro structures."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.heap.allocator import PersistentHeap
+from repro.workloads.echo import EchoStore
+from repro.workloads.hashmap import PersistentHashMap
+from repro.workloads.queue import PersistentQueue
+from repro.workloads.sdg import PersistentGraph
+from repro.workloads.sps import PersistentArray
+from repro.workloads.tpcc import N_DISTRICTS, TpccWarehouse
+from tests.test_workload_trees import DictContext
+
+
+def fresh(cls, *args, **kwargs):
+    heap = PersistentHeap(0x1000, 1 << 24)
+    ctx = DictContext()
+    obj = cls(heap, *args, **kwargs)
+    if hasattr(obj, "create"):
+        obj.create(ctx)
+    return obj, ctx, heap
+
+
+class TestHashMap:
+    def test_insert_lookup(self):
+        table, ctx, _h = fresh(PersistentHashMap, 8)
+        node = table.insert(ctx, 5, [1, 2, 3, 4, 5, 6])
+        assert table.lookup(ctx, 5) == node
+        assert table.lookup(ctx, 6) is None
+
+    def test_update_in_place(self):
+        table, ctx, _h = fresh(PersistentHashMap, 8)
+        a = table.insert(ctx, 5, [1] * 6)
+        b = table.insert(ctx, 5, [2] * 6)
+        assert a == b
+        assert ctx.load(table.value_addr(a, 0)) == 2
+
+    def test_delete_unlinks(self):
+        table, ctx, _h = fresh(PersistentHashMap, 8)
+        table.insert(ctx, 5, [0] * 6)
+        assert table.delete(ctx, 5)
+        assert table.lookup(ctx, 5) is None
+        assert not table.delete(ctx, 5)
+
+    def test_chain_collisions(self):
+        table, ctx, _h = fresh(PersistentHashMap, 8, 1)  # one bucket
+        for key in (1, 2, 3):
+            table.insert(ctx, key, [key] * 6)
+        for key in (1, 2, 3):
+            assert table.lookup(ctx, key) is not None
+        table.delete(ctx, 2)
+        assert table.lookup(ctx, 1) and table.lookup(ctx, 3)
+        assert table.lookup(ctx, 2) is None
+
+    def test_wrong_value_count_rejected(self):
+        table, ctx, _h = fresh(PersistentHashMap, 8)
+        with pytest.raises(ValueError):
+            table.insert(ctx, 1, [0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(1, 24)), max_size=80))
+    def test_matches_dict_oracle(self, ops):
+        table, ctx, _h = fresh(PersistentHashMap, 8, 4)
+        oracle = {}
+        for insert, key in ops:
+            if insert:
+                values = [key] * 6
+                table.insert(ctx, key, values)
+                oracle[key] = values
+            else:
+                assert table.delete(ctx, key) == (key in oracle)
+                oracle.pop(key, None)
+        assert dict(table.items(ctx)) == oracle
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        queue, ctx, _h = fresh(PersistentQueue, 8)
+        for i in range(5):
+            queue.enqueue(ctx, [i] * 7)
+        for i in range(5):
+            assert queue.dequeue(ctx)[0] == i
+        assert queue.dequeue(ctx) is None
+
+    def test_length_tracks(self):
+        queue, ctx, _h = fresh(PersistentQueue, 8)
+        queue.enqueue(ctx, [1] * 7)
+        queue.enqueue(ctx, [2] * 7)
+        assert queue.length(ctx) == 2
+        queue.dequeue(ctx)
+        assert queue.length(ctx) == 1
+
+    def test_drain_and_refill(self):
+        queue, ctx, _h = fresh(PersistentQueue, 8)
+        queue.enqueue(ctx, [1] * 7)
+        queue.dequeue(ctx)
+        queue.enqueue(ctx, [2] * 7)
+        assert queue.dequeue(ctx)[0] == 2
+
+    def test_nodes_recycled(self):
+        queue, ctx, heap = fresh(PersistentQueue, 8)
+        queue.enqueue(ctx, [1] * 7)
+        first = queue._head(ctx)
+        queue.dequeue(ctx)
+        queue.enqueue(ctx, [2] * 7)
+        assert queue._head(ctx) == first  # freed node reused
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.booleans(), max_size=60))
+    def test_matches_deque_oracle(self, ops):
+        from collections import deque
+
+        queue, ctx, _h = fresh(PersistentQueue, 8)
+        oracle = deque()
+        counter = 0
+        for enqueue in ops:
+            if enqueue:
+                counter += 1
+                queue.enqueue(ctx, [counter] * 7)
+                oracle.append(counter)
+            else:
+                got = queue.dequeue(ctx)
+                if oracle:
+                    assert got[0] == oracle.popleft()
+                else:
+                    assert got is None
+        assert [v[0] for v in queue.items(ctx)] == list(oracle)
+
+
+class TestGraph:
+    def test_insert_has_edge(self):
+        graph, ctx, _h = fresh(PersistentGraph, 8, 16)
+        graph.insert_edge(ctx, 1, 2, [0] * 6)
+        assert graph.has_edge(ctx, 1, 2)
+        assert not graph.has_edge(ctx, 2, 1)
+
+    def test_duplicate_edge_updates(self):
+        graph, ctx, _h = fresh(PersistentGraph, 8, 16)
+        a = graph.insert_edge(ctx, 1, 2, [1] * 6)
+        b = graph.insert_edge(ctx, 1, 2, [2] * 6)
+        assert a == b
+        assert len(list(graph.edges(ctx))) == 1
+
+    def test_delete_edge(self):
+        graph, ctx, _h = fresh(PersistentGraph, 8, 16)
+        graph.insert_edge(ctx, 1, 2, [0] * 6)
+        graph.insert_edge(ctx, 1, 3, [0] * 6)
+        assert graph.delete_edge(ctx, 1, 2)
+        assert not graph.has_edge(ctx, 1, 2)
+        assert graph.has_edge(ctx, 1, 3)
+        assert not graph.delete_edge(ctx, 1, 2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 5), st.integers(0, 5)), max_size=60))
+    def test_matches_set_oracle(self, ops):
+        graph, ctx, _h = fresh(PersistentGraph, 8, 8)
+        oracle = set()
+        for insert, src, dst in ops:
+            if insert:
+                graph.insert_edge(ctx, src, dst, [0] * 6)
+                oracle.add((src, dst))
+            else:
+                assert graph.delete_edge(ctx, src, dst) == ((src, dst) in oracle)
+                oracle.discard((src, dst))
+        assert set(graph.edges(ctx)) == oracle
+
+
+class TestSpsArray:
+    def test_swap(self):
+        heap = PersistentHeap(0x1000, 1 << 20)
+        ctx = DictContext()
+        array = PersistentArray(heap, 8, 4)
+        array.write_entry(ctx, 0, list(range(8)))
+        array.write_entry(ctx, 1, list(range(10, 18)))
+        array.swap(ctx, 0, 1)
+        assert array.read_entry(ctx, 0) == list(range(10, 18))
+        assert array.read_entry(ctx, 1) == list(range(8))
+
+    def test_self_swap_is_identity(self):
+        heap = PersistentHeap(0x1000, 1 << 20)
+        ctx = DictContext()
+        array = PersistentArray(heap, 8, 2)
+        array.write_entry(ctx, 0, [7] * 8)
+        array.swap(ctx, 0, 0)
+        assert array.read_entry(ctx, 0) == [7] * 8
+
+
+class TestEcho:
+    def test_put_get(self):
+        store, ctx, _h = fresh(EchoStore, 8)
+        store.put(ctx, 5, [1, 2, 3, 4])
+        assert store.get(ctx, 5) == [1, 2, 3, 4]
+        assert store.get(ctx, 6) is None
+
+    def test_versions_monotonic(self):
+        store, ctx, _h = fresh(EchoStore, 8)
+        v1 = store.put(ctx, 5, [0] * 4)
+        v2 = store.put(ctx, 6, [0] * 4)
+        v3 = store.put(ctx, 5, [1] * 4)
+        assert v1 < v2 < v3
+        assert store.version(ctx, 5) == v3
+        assert store.version(ctx, 6) == v2
+
+
+class TestTpcc:
+    def _warehouse(self):
+        heap = PersistentHeap(0x1000, 1 << 27)
+        ctx = DictContext()
+        warehouse = TpccWarehouse(heap, n_items=32, n_customers=16)
+        warehouse.populate(ctx, random.Random(0))
+        return warehouse, ctx
+
+    def test_order_ids_advance_per_district(self):
+        warehouse, ctx = self._warehouse()
+        rng = random.Random(1)
+        seen = {}
+        for _ in range(40):
+            # Peek the district the next order will use by replaying rng.
+            state = rng.getstate()
+            d = rng.randrange(N_DISTRICTS)
+            rng.setstate(state)
+            o_id = warehouse.new_order(ctx, rng)
+            assert o_id == seen.get(d, 1)
+            seen[d] = o_id + 1
+
+    def test_order_records_written(self):
+        warehouse, ctx = self._warehouse()
+        rng = random.Random(2)
+        state = rng.getstate()
+        d = rng.randrange(N_DISTRICTS)
+        rng.setstate(state)
+        o_id = warehouse.new_order(ctx, rng)
+        rec = warehouse.order_rec(d, o_id)
+        assert ctx.load(rec) == o_id
+        ol_cnt = ctx.load(rec + 4 * 8)
+        assert 5 <= ol_cnt <= 15
+        line0 = warehouse.order_line_rec(d, o_id, 0)
+        assert ctx.load(line0) == o_id
+
+    def test_stock_conservation(self):
+        """Stock ytd totals must equal the quantities ordered."""
+        warehouse, ctx = self._warehouse()
+        rng = random.Random(3)
+        for _ in range(25):
+            warehouse.new_order(ctx, rng)
+        total_ytd = sum(
+            ctx.load(warehouse.stock_rec(i) + 8) for i in range(warehouse.n_items)
+        )
+        # Sum the order-line quantities actually recorded.
+        total_ordered = 0
+        for d in range(N_DISTRICTS):
+            next_o = ctx.load(warehouse.district_rec(d))
+            for o_id in range(1, next_o):
+                rec = warehouse.order_rec(d, o_id)
+                ol_cnt = ctx.load(rec + 4 * 8)
+                for line in range(ol_cnt):
+                    total_ordered += ctx.load(
+                        warehouse.order_line_rec(d, o_id, line) + 3 * 8
+                    )
+        assert total_ytd == total_ordered

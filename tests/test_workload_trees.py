@@ -1,0 +1,201 @@
+"""Correctness of the persistent B-tree and red-black tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.heap.allocator import PersistentHeap
+from repro.workloads.btree import PersistentBTree
+from repro.workloads.rbtree import BLACK, RED, PersistentRBTree
+
+
+class DictContext:
+    """A plain in-memory word store standing in for the simulator."""
+
+    def __init__(self):
+        self.words = {}
+
+    def load(self, addr):
+        return self.words.get(addr, 0)
+
+    def store(self, addr, value):
+        self.words[addr] = value
+
+    def load_words(self, addr, count):
+        return [self.load(addr + 8 * i) for i in range(count)]
+
+    def store_words(self, addr, values):
+        for i, value in enumerate(values):
+            self.store(addr + 8 * i, value)
+
+
+def fresh_btree(item_words=8):
+    heap = PersistentHeap(0x1000, 1 << 24)
+    ctx = DictContext()
+    tree = PersistentBTree(heap, item_words)
+    tree.create(ctx)
+    return tree, ctx
+
+
+class TestBTree:
+    def test_insert_search(self):
+        tree, ctx = fresh_btree()
+        for key in (5, 3, 9, 1, 7):
+            tree.insert(ctx, key)
+        for key in (5, 3, 9, 1, 7):
+            assert tree.search(ctx, key)
+        assert not tree.search(ctx, 4)
+
+    def test_items_sorted_after_many_inserts(self):
+        tree, ctx = fresh_btree()
+        rng = random.Random(1)
+        keys = [rng.randrange(1, 10_000) for _ in range(500)]
+        for key in keys:
+            tree.insert(ctx, key)
+        items = list(tree.items(ctx))
+        assert items == sorted(keys)
+
+    def test_delete_from_leaf(self):
+        tree, ctx = fresh_btree()
+        for key in range(1, 20):
+            tree.insert(ctx, key)
+        assert tree.delete(ctx, 7)
+        assert not tree.search(ctx, 7)
+        assert sorted(tree.items(ctx)) == [k for k in range(1, 20) if k != 7]
+
+    def test_delete_internal_key(self):
+        tree, ctx = fresh_btree()
+        keys = list(range(1, 64))
+        for key in keys:
+            tree.insert(ctx, key)
+        # Delete every key, including internal ones.
+        rng = random.Random(2)
+        rng.shuffle(keys)
+        remaining = set(keys)
+        for key in keys[:40]:
+            assert tree.delete(ctx, key)
+            remaining.discard(key)
+            assert sorted(tree.items(ctx)) == sorted(remaining)
+
+    def test_delete_missing_returns_false(self):
+        tree, ctx = fresh_btree()
+        tree.insert(ctx, 1)
+        assert not tree.delete(ctx, 99)
+
+    def test_large_nodes(self):
+        tree, ctx = fresh_btree(item_words=512)
+        keys = list(range(1, 600))
+        for key in keys:
+            tree.insert(ctx, key)
+        assert list(tree.items(ctx)) == keys
+        assert tree.max_keys == 255
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(1, 64)), max_size=120))
+    def test_matches_multiset_oracle(self, ops):
+        tree, ctx = fresh_btree()
+        oracle = []
+        for insert, key in ops:
+            if insert:
+                tree.insert(ctx, key)
+                oracle.append(key)
+            else:
+                removed = tree.delete(ctx, key)
+                assert removed == (key in oracle)
+                if removed:
+                    oracle.remove(key)
+        assert sorted(tree.items(ctx)) == sorted(oracle)
+
+
+def fresh_rbtree(item_words=8):
+    heap = PersistentHeap(0x1000, 1 << 24)
+    ctx = DictContext()
+    tree = PersistentRBTree(heap, item_words)
+    tree.create(ctx)
+    return tree, ctx
+
+
+def check_rb_invariants(tree, ctx):
+    """BST order, no red-red edges, equal black heights."""
+    root = tree._root(ctx)
+    if not root:
+        return
+    assert tree._color(ctx, root) == BLACK
+
+    def walk(node, lo, hi):
+        if not node:
+            return 1
+        key = tree._key(ctx, node)
+        assert lo < key < hi, "BST order violated"
+        color = tree._color(ctx, node)
+        left, right = tree._left(ctx, node), tree._right(ctx, node)
+        if color == RED:
+            assert tree._color(ctx, left) == BLACK
+            assert tree._color(ctx, right) == BLACK
+        lh = walk(left, lo, key)
+        rh = walk(right, key, hi)
+        assert lh == rh, "black heights differ"
+        return lh + (1 if color == BLACK else 0)
+
+    walk(root, -1, 1 << 65)
+
+
+class TestRBTree:
+    def test_insert_search(self):
+        tree, ctx = fresh_rbtree()
+        for key in (5, 3, 9):
+            tree.insert(ctx, key, [0, 0, 0])
+        assert tree.search(ctx, 3) is not None
+        assert tree.search(ctx, 4) is None
+
+    def test_invariants_after_sequential_inserts(self):
+        tree, ctx = fresh_rbtree()
+        for key in range(1, 200):
+            tree.insert(ctx, key, [key, 0, 0])
+        check_rb_invariants(tree, ctx)
+        assert list(tree.items(ctx)) == list(range(1, 200))
+
+    def test_invariants_after_random_ops(self):
+        tree, ctx = fresh_rbtree()
+        rng = random.Random(3)
+        present = set()
+        for _ in range(600):
+            key = rng.randrange(1, 128)
+            if rng.random() < 0.6:
+                tree.insert(ctx, key, [key, 0, 0])
+                present.add(key)
+            else:
+                deleted = tree.delete(ctx, key)
+                assert deleted == (key in present)
+                present.discard(key)
+            check_rb_invariants(tree, ctx)
+        assert list(tree.items(ctx)) == sorted(present)
+
+    def test_update_existing_key_rewrites_values(self):
+        tree, ctx = fresh_rbtree()
+        node1 = tree.insert(ctx, 5, [1, 1, 1])
+        node2 = tree.insert(ctx, 5, [2, 2, 2])
+        assert node1 == node2
+        assert ctx.load(node1 + 5 * 8) == 2
+
+    def test_delete_root(self):
+        tree, ctx = fresh_rbtree()
+        tree.insert(ctx, 5, [0, 0, 0])
+        assert tree.delete(ctx, 5)
+        assert tree._root(ctx) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(1, 32)), max_size=80))
+    def test_matches_set_oracle(self, ops):
+        tree, ctx = fresh_rbtree()
+        oracle = set()
+        for insert, key in ops:
+            if insert:
+                tree.insert(ctx, key, [0, 0, 0])
+                oracle.add(key)
+            else:
+                assert tree.delete(ctx, key) == (key in oracle)
+                oracle.discard(key)
+        check_rb_invariants(tree, ctx)
+        assert list(tree.items(ctx)) == sorted(oracle)
