@@ -7,6 +7,7 @@ Commands:
 - ``compare`` — run all designs on one workload, normalized table.
 - ``figure`` — regenerate one paper table/figure by name.
 - ``overhead`` — print Table I for the current configuration.
+- ``fault-sweep`` — enumerate crash points and verify recovery at each.
 """
 
 import argparse
@@ -98,6 +99,61 @@ def _parser() -> argparse.ArgumentParser:
     rep_p.add_argument("trace", help="trace file to replay")
     rep_p.add_argument("--design", default="MorLog-SLDE", choices=ALL_DESIGNS)
     rep_p.add_argument("--threads", type=int, default=2)
+
+    fs_p = sub.add_parser(
+        "fault-sweep",
+        help="crash at every persist boundary and verify recovery",
+    )
+    fs_p.add_argument(
+        "--design",
+        default="all",
+        help="design name, alias (morlog/undo-only/redo-only/fwb/morlog-dp)"
+        " or 'all' for the four logging schemes",
+    )
+    fs_p.add_argument(
+        "--workload",
+        default="hash",
+        choices=MICRO_WORKLOADS + MACRO_WORKLOADS,
+    )
+    fs_p.add_argument("--transactions", type=int, default=10)
+    fs_p.add_argument("--threads", type=int, default=2)
+    fs_p.add_argument("--seed", type=int, default=7)
+    fs_p.add_argument(
+        "--budget",
+        type=int,
+        default=0,
+        help="crash points to sample (0 = exhaustive, check every one)",
+    )
+    fs_p.add_argument(
+        "--fwb-interval",
+        type=int,
+        default=None,
+        help="override the FWB scan interval (cycles); small values reach"
+        " the scan/truncation crash points in short runs",
+    )
+    fs_p.add_argument(
+        "--mutant",
+        default=None,
+        help="install a deliberately broken logger first (the sweep must"
+        " then FAIL with a counterexample)",
+    )
+    fs_p.add_argument(
+        "--no-verify-decode",
+        action="store_true",
+        help="skip codec decode verification during recovery scans",
+    )
+    fs_p.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="re-execute a saved counterexample schedule instead of sweeping",
+    )
+    fs_p.add_argument(
+        "--save",
+        default=None,
+        metavar="FILE",
+        help="write the first counterexample schedule to FILE as JSON",
+    )
     return parser
 
 
@@ -177,7 +233,85 @@ def main(argv=None) -> int:
         _cmd_record(args)
     elif args.command == "replay":
         _cmd_replay(args)
+    elif args.command == "fault-sweep":
+        return _cmd_fault_sweep(args)
     return 0
+
+
+def _cmd_fault_sweep(args) -> int:
+    from repro.faultinject.sweep import (
+        DEFAULT_SWEEP_DESIGNS,
+        CrashSchedule,
+        SweepOptions,
+        replay_schedule,
+        run_sweep,
+    )
+
+    if args.replay is not None:
+        with open(args.replay) as fh:
+            schedule = CrashSchedule.from_json(fh.read())
+        report = replay_schedule(
+            schedule, verify_decode=not args.no_verify_decode
+        )
+        if not report.crashed:
+            print("replay never reached crash index %d" % schedule.crash_index)
+            return 1
+        print(
+            "crashed at #%d (%s); recovery: %s"
+            % (
+                schedule.crash_index,
+                report.event.point if report.event else "?",
+                "%d violation(s)" % len(report.violations)
+                if report.violations
+                else "clean",
+            )
+        )
+        for violation in report.violations:
+            print(violation.format())
+        return 1 if report.violations else 0
+
+    designs = (
+        DEFAULT_SWEEP_DESIGNS if args.design == "all" else (args.design,)
+    )
+    options = SweepOptions(
+        workload=args.workload,
+        transactions=args.transactions,
+        threads=args.threads,
+        seed=args.seed,
+        budget=args.budget,
+        verify_decode=not args.no_verify_decode,
+        mutant=args.mutant,
+        fwb_interval_cycles=args.fwb_interval,
+    )
+    rows = []
+    failed = False
+    for design in designs:
+        result = run_sweep(design, options)
+        rows.append(
+            [
+                result.design,
+                result.total_events,
+                result.checked_events,
+                "PASS" if result.ok else "FAIL",
+            ]
+        )
+        if not result.ok:
+            failed = True
+            print(result.counterexample.format())
+            if args.save is not None:
+                with open(args.save, "w") as fh:
+                    fh.write(result.counterexample.schedule.to_json())
+                print("schedule saved to %s" % args.save)
+    mode = "exhaustive" if args.budget <= 0 else "budget=%d" % args.budget
+    print(
+        format_table(
+            ["design", "crash points", "checked", "verdict"],
+            rows,
+            "fault sweep: %s, %d tx, %d threads, seed %d, %s"
+            % (args.workload, args.transactions, args.threads, args.seed, mode),
+        )
+    )
+    return 1 if failed else 0
 
 
 def _cmd_record(args) -> None:

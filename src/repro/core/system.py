@@ -121,8 +121,28 @@ class System:
         # Optional analysis tap: object with on_tx_store(tid, txid, addr,
         # old, new) (see repro.analysis.trace).
         self.trace = None
-        # Optional crash hook called before every transactional store.
+        # Optional crash hook called before every transactional store
+        # (temporal and non-temporal) and before every commit sequence.
         self.crash_hook: Optional[Callable[[], None]] = None
+        # Optional fault-injection plan observing named crash points
+        # (see repro.faultinject.plan); installed on every layer at once.
+        self.crash_plan = None
+
+    def install_crash_plan(self, plan) -> None:
+        """Thread a fault-injection plan through every persistence layer.
+
+        The same plan object lands on the system, the logger, each log
+        region and the NVM module, so its event indices form one global
+        order across all persist boundaries.  Pass None to uninstall.
+        """
+        self.crash_plan = plan
+        self.logger.crash_plan = plan
+        self.controller.nvm.crash_plan = plan
+        if isinstance(self.log_region, LogRegionSet):
+            for region in self.log_region.regions:
+                region.crash_plan = plan
+        else:
+            self.log_region.crash_plan = plan
 
     # ------------------------------------------------------------------
     # Core-visible memory operations
@@ -157,6 +177,8 @@ class System:
         if tx is not None and self.controller.is_persistent(addr):
             if self.crash_hook is not None:
                 self.crash_hook()
+            if self.crash_plan is not None:
+                self.crash_plan.fire("tx-store", txid=tx.txid, addr=addr)
             if self.trace is not None:
                 self.trace.on_tx_store(tx.tid, tx.txid, addr, old, value)
             tx.n_stores += 1
@@ -180,6 +202,10 @@ class System:
         tx = self.current_tx[core]
         self.stats.add("nt_stores")
         if tx is not None and self.controller.is_persistent(addr):
+            if self.crash_hook is not None:
+                self.crash_hook()
+            if self.crash_plan is not None:
+                self.crash_plan.fire("tx-nt-store", txid=tx.txid, addr=addr)
             # Keep any cached copy coherent before bypassing the caches.
             now = self.hierarchy.flush_line(addr, now)
             if self.trace is not None:
@@ -245,6 +271,10 @@ class System:
         tx = self.current_tx[core]
         if tx is None:
             raise RuntimeError("Tx_End without Tx_Begin on core %d" % core)
+        if self.crash_hook is not None:
+            self.crash_hook()
+        if self.crash_plan is not None:
+            self.crash_plan.fire("tx-commit", txid=tx.txid)
         now = self.logger.commit_tx(tx, self.core_time_ns[core])
         now = self._flush_nt_staging(tx, now)
         self.core_time_ns[core] = now
@@ -261,12 +291,12 @@ class System:
         self.begin_tx(core)
         try:
             body(self.contexts[core])
+            self.end_tx(core)
         except CrashInjected:
             # The machine "lost power": volatile state is gone, the
             # persistence domain stays as is.  Tests call recover() next.
             self.current_tx[core] = None
             raise
-        self.end_tx(core)
         self._maybe_force_write_back()
 
     # ------------------------------------------------------------------
@@ -303,6 +333,8 @@ class System:
             self._next_fwb_ns += self._fwb_interval_ns
 
     def _run_fwb_scan(self, now_ns: float) -> float:
+        if self.crash_plan is not None:
+            self.crash_plan.fire("fwb-scan")
         done = self.hierarchy.force_write_back_scan(now_ns)
         self._scans_done += 1
         self._truncate_log(done)

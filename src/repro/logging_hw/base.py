@@ -62,6 +62,9 @@ class HardwareLogger(CacheListener):
         # Hook the system installs to learn when in-place data persist
         # (drives the transaction-table truncation policy, section III-F).
         self.data_persisted_hook = None
+        # Fault-injection plan (see repro.faultinject.plan), installed by
+        # System.install_crash_plan on every persistence layer at once.
+        self.crash_plan = None
 
     def on_data_persisted(self, line_addr: int, now_ns: float) -> None:
         if self.data_persisted_hook is not None:
@@ -135,6 +138,9 @@ class HardwareLogger(CacheListener):
 
     def persist_entry(self, entry: LogEntry, now_ns: float) -> WriteResult:
         """Write one buffer entry to the log region."""
+        plan = self.crash_plan
+        if plan is not None:
+            plan.fire("log-append", txid=entry.txid, addr=entry.addr)
         context = self._log_context(entry)
         undo = None
         if entry.type is EntryType.UNDO_REDO:
@@ -142,6 +148,13 @@ class HardwareLogger(CacheListener):
         redo = LogDataWord(entry.redo, context)
         result = self.region.append(entry, now_ns, undo=undo, redo=redo)
         self.stats.add("entries_persisted")
+        if plan is not None:
+            point = (
+                "redo-persisted"
+                if entry.type is EntryType.REDO
+                else "undo-persisted"
+            )
+            plan.fire(point, txid=entry.txid, addr=entry.addr)
         self._entry_persisted(entry, result, now_ns)
         return result
 
@@ -149,8 +162,14 @@ class HardwareLogger(CacheListener):
         """Subclass hook: update L1 word states after a persist."""
 
     def persist_commit(self, record: CommitRecord, now_ns: float) -> WriteResult:
+        plan = self.crash_plan
+        if plan is not None:
+            plan.fire("commit-record", txid=record.txid)
+        result = self.region.append(record, now_ns)
         self.stats.add("commits_persisted")
-        return self.region.append(record, now_ns)
+        if plan is not None:
+            plan.fire("commit-persisted", txid=record.txid)
+        return result
 
     def next_commit_timestamp(self) -> int:
         self._commit_timestamp += 1

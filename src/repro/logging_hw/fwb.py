@@ -118,6 +118,10 @@ class FwbLogger(HardwareLogger):
     def before_llc_write_back(self, line_addr: int, now_ns: float) -> float:
         pending = self.buffer.pop_addr_range(line_addr, self.config.caches.line_bytes)
         if pending:
+            if self.crash_plan is not None:
+                # Write-ahead boundary: these entries must reach the log
+                # before the in-place line write that triggered the flush.
+                self.crash_plan.fire("wal-flush", addr=line_addr)
             self.stats.add("wal_forced_flushes", len(pending))
             now_ns, _accept = self._persist_many(pending, now_ns)
         return now_ns

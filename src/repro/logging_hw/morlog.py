@@ -195,6 +195,11 @@ class MorLogLogger(HardwareLogger):
             line.word_dirty_flags[index] = 0
 
     def _emit_redo(self, tid: int, txid: int, addr: int, value: int, mask: int, now_ns: float) -> float:
+        if self.crash_plan is not None:
+            # A ULOG word's in-line redo data leave the L1 and become a
+            # log entry here — the boundary the delay-persistence ulog
+            # accounting depends on.
+            self.crash_plan.fire("redo-drain", txid=txid, addr=addr)
         entry = LogEntry(
             type=EntryType.REDO,
             tid=tid,
@@ -298,6 +303,9 @@ class MorLogLogger(HardwareLogger):
     def _flush_nt_entries(self, tx: TransactionInfo, now_ns: float) -> float:
         """Persist buffered non-temporal redo entries before the commit
         record, so recovery never misses a committed NT store."""
+        keys = self._nt_keys.get((tx.tid, tx.txid))
+        if keys and self.crash_plan is not None:
+            self.crash_plan.fire("nt-flush", txid=tx.txid)
         for key in self._nt_keys.pop((tx.tid, tx.txid), ()):
             entry = self.redo_buffer.pop_key(key)
             if entry is not None:

@@ -78,6 +78,8 @@ class LogRegion:
         # Optional debug tap: called with each record as it is appended
         # (used by the WAL-ordering checker).
         self.append_observer: Optional[Callable] = None
+        # Fault-injection plan (installed by System.install_crash_plan).
+        self.crash_plan = None
         self._persist_control(0.0)
 
     # ------------------------------------------------------------------
@@ -188,6 +190,11 @@ class LogRegion:
                 self.head_seq = self.seq
                 self.head_parity = self.parity
         if freed:
+            if self.crash_plan is not None:
+                # A crash here leaves the old durable head with entries
+                # already freed in the volatile index — recovery must
+                # tolerate re-scanning (and re-applying) the stale prefix.
+                self.crash_plan.fire("log-truncate", head=self.head)
             self._persist_control(now_ns)
             self.stats.add("entries_truncated", freed)
         return freed

@@ -90,6 +90,11 @@ class UndoOnlyLogger(HardwareLogger):
         for base in sorted(self._tx_lines.pop((tx.tid, tx.txid), ())):
             if self.hierarchy is None:
                 break
+            if self.crash_plan is not None:
+                # Crashing between the forced per-line write-backs leaves a
+                # partially in-place transaction that only the undo data
+                # can roll back — the ordering this design must get right.
+                self.crash_plan.fire("forced-writeback", txid=tx.txid, addr=base)
             done = self.hierarchy.write_back_line(base, now_ns)
             last_accept = max(last_accept, done)
             self.stats.add("forced_data_write_backs")

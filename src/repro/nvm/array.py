@@ -12,6 +12,7 @@ tests can check decode(read(addr)) against ground truth, and supports
 snapshot/restore for crash-injection testing.
 """
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, Optional, Tuple
@@ -98,6 +99,8 @@ class NvmArray:
         self.stats = stats if stats is not None else StatGroup("nvm_array")
         # Per-word cumulative programmed-cell counts (endurance, §VI-C).
         self.wear: Dict[int, int] = {}
+        # Active logical-write journal (crash-injection recovery probes).
+        self._journal: Optional[Dict[int, Optional[int]]] = None
 
     @staticmethod
     def word_addr(addr: int) -> int:
@@ -173,7 +176,35 @@ class NvmArray:
         Used by the recovery routine, which copies log data to home
         locations outside the measured execution window.
         """
+        if self._journal is not None:
+            waddr = self.word_addr(addr)
+            if waddr not in self._journal:
+                slot = self._words.get(waddr)
+                self._journal[waddr] = slot.logical if slot is not None else None
         self._slot(addr).logical = mask_word(value)
+
+    @contextmanager
+    def journaled_logical_writes(self):
+        """Roll back every :meth:`write_logical` made inside the block.
+
+        The crash-point sweep probes recovery against the *live* array
+        mid-run; recovery only mutates logical values, so journaling the
+        first-touch old value of each written word (and dropping slots
+        recovery created from pristine) restores the array exactly.
+        Cheaper than :meth:`snapshot`, which copies every slot.
+        """
+        if self._journal is not None:
+            raise RuntimeError("logical-write journal cannot nest")
+        self._journal = {}
+        try:
+            yield self
+        finally:
+            journal, self._journal = self._journal, None
+            for waddr, old in journal.items():
+                if old is None:
+                    self._words.pop(waddr, None)
+                else:
+                    self._words[waddr].logical = old
 
     def snapshot(self) -> Dict[int, StoredWord]:
         """Copy the persistent state for crash-injection tests."""

@@ -86,6 +86,11 @@ class NvmModule:
         # disabled in secure modes.
         self._secure = encoding_config.secure_mode
         self._line_epoch: dict = {}
+        # Fault-injection plan (installed by System.install_crash_plan):
+        # fires "data-writeback" before any in-place line write programs
+        # cells, so crash schedules can cut power at every write-ahead
+        # boundary regardless of which layer issued the write.
+        self.crash_plan = None
 
     @staticmethod
     def _cipher(addr: int, value: int, epoch: int = 0) -> int:
@@ -128,6 +133,8 @@ class NvmModule:
         """Write one in-place 64-byte cache line."""
         if len(words) != WORDS_PER_LINE:
             raise ValueError("a data line write carries exactly 8 words")
+        if self.crash_plan is not None:
+            self.crash_plan.fire("data-writeback", addr=addr)
         encoded = []
         epoch = 0
         if self._secure == "full":

@@ -1,0 +1,256 @@
+"""Property-based round-trip tests for the codec stack (Hypothesis).
+
+Every codec must satisfy decode(encode(w)) == w over the full 64-bit word
+space, not just the hand-picked examples of the unit tests — compression
+bugs live in the pattern boundaries (a value one past a sign-extension
+range, a dirty mask with holes) that random-but-shrinking generation is
+good at finding.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.common.bitops import (
+    dirty_byte_mask,
+    mask_word,
+    scatter_bytes,
+    select_bytes,
+    sign_extend,
+)
+from repro.encoding.base import EncodedWord
+from repro.encoding.bdi import BdiCodec, bdi_compress, bdi_decompress
+from repro.encoding.crade import CradeCodec
+from repro.encoding.dldc import (
+    DldcCodec,
+    PATTERN_NAMES,
+    dldc_compress_pattern,
+    dldc_decompress_pattern,
+)
+from repro.encoding.expansion import (
+    CELLS_PER_WORD,
+    ExpansionPolicy,
+    cells_to_bits,
+    cells_used,
+    map_bits_to_cells,
+    policy_for_size,
+)
+from repro.encoding.fpc import FpcCodec, fpc_compress, fpc_decompress
+from repro.encoding.slde import ENCODING_TYPE_FLAG_BITS, LogWriteContext, SldeCodec
+from repro.common.config import tlc_levels_sorted_by_latency
+
+# Uniform 64-bit words almost never exercise the compressible patterns, so
+# mix them with the value shapes the patterns target: zero, narrow signed,
+# repeated bytes, zeroed halves, base+small-delta lanes.
+_narrow = st.integers(-(1 << 31), (1 << 31) - 1).map(mask_word)
+_repeated = st.integers(0, 0xFF).map(
+    lambda b: int.from_bytes(bytes([b]) * 8, "little")
+)
+_high_half = st.integers(0, (1 << 32) - 1).map(lambda v: v << 32)
+_lanes = st.integers(0, 0xFFFF).flatmap(
+    lambda base: st.lists(
+        st.integers(-127, 127), min_size=4, max_size=4
+    ).map(
+        lambda ds: sum(
+            (((base + d) & 0xFFFF) << (16 * i)) for i, d in enumerate(ds)
+        )
+    )
+)
+words = st.one_of(
+    st.integers(0, (1 << 64) - 1),
+    _narrow,
+    _repeated,
+    _high_half,
+    _lanes,
+)
+masks = st.integers(0, 0xFF)
+# Dirty-byte strings as DLDC sees them (clean bytes already removed).
+dirty_strings = st.lists(st.integers(0, 0xFF), min_size=1, max_size=8)
+
+
+# ----------------------------------------------------------------------
+# FPC
+# ----------------------------------------------------------------------
+
+@given(words)
+def test_fpc_compress_round_trip(word):
+    prefix, payload, bits = fpc_compress(word)
+    assert payload >> bits == 0 if bits else payload == 0
+    assert fpc_decompress(prefix, payload) == mask_word(word)
+
+
+@given(words)
+def test_fpc_codec_round_trip(word):
+    codec = FpcCodec(expansion_enabled=True)
+    enc = codec.encode(word)
+    assert codec.decode(enc) == mask_word(word)
+    assert enc.total_bits == enc.payload_bits + enc.tag_bits
+
+
+# ----------------------------------------------------------------------
+# CRADE = FPC + expansion coding
+# ----------------------------------------------------------------------
+
+@given(words)
+def test_crade_round_trip_and_policy(word):
+    codec = CradeCodec(expansion_enabled=True)
+    enc = codec.encode(word)
+    assert codec.decode(enc) == mask_word(word)
+    # The policy must be exactly what the compressed size dictates, and
+    # the payload must physically fit the chosen cell mapping.
+    assert enc.policy is policy_for_size(enc.payload_bits)
+    assert cells_used(enc.payload_bits, enc.policy) <= CELLS_PER_WORD
+
+
+# ----------------------------------------------------------------------
+# BDI
+# ----------------------------------------------------------------------
+
+@given(words)
+def test_bdi_compress_round_trip(word):
+    tag, payload, bits = bdi_compress(word)
+    assert bdi_decompress(tag, payload) == mask_word(word)
+
+
+@given(words)
+def test_bdi_codec_round_trip(word):
+    codec = BdiCodec(expansion_enabled=True)
+    assert codec.decode(codec.encode(word)) == mask_word(word)
+
+
+# ----------------------------------------------------------------------
+# Expansion coding: bit <-> cell mapping
+# ----------------------------------------------------------------------
+
+@given(
+    st.sampled_from(list(ExpansionPolicy)),
+    st.integers(0, CELLS_PER_WORD * 3),
+    st.data(),
+)
+def test_expansion_mapping_inverse(policy, payload_bits, data):
+    if payload_bits > CELLS_PER_WORD * policy.bits_per_cell:
+        return  # does not fit this policy; policy_for_size never picks it
+    payload = data.draw(
+        st.integers(0, (1 << payload_bits) - 1) if payload_bits else st.just(0)
+    )
+    levels = map_bits_to_cells(payload, payload_bits, policy)
+    assert len(levels) == cells_used(payload_bits, policy)
+    # Only the policy's cheapest-level subset may be programmed.
+    allowed = set(tlc_levels_sorted_by_latency()[: 1 << policy.bits_per_cell])
+    assert set(levels) <= allowed
+    assert cells_to_bits(levels, payload_bits, policy) == payload
+
+
+@given(st.integers(0, 80))
+def test_policy_for_size_is_densest_fit(bits):
+    policy = policy_for_size(bits)
+    assert bits <= CELLS_PER_WORD * policy.bits_per_cell or policy is ExpansionPolicy.RAW
+    # No denser policy could have held the payload.
+    for denser in ExpansionPolicy:
+        if denser.bits_per_cell < policy.bits_per_cell:
+            assert bits > CELLS_PER_WORD * denser.bits_per_cell
+
+
+# ----------------------------------------------------------------------
+# DLDC
+# ----------------------------------------------------------------------
+
+@given(dirty_strings)
+def test_dldc_pattern_round_trip(data):
+    match = dldc_compress_pattern(data)
+    if match is None:
+        return
+    tag, payload, bits = match
+    assert tag in PATTERN_NAMES
+    assert bits <= 8 * len(data)
+    assert dldc_decompress_pattern(tag, payload, len(data)) == data
+
+
+@given(words, masks, words)
+def test_dldc_encode_log_round_trip(word, mask, junk):
+    codec = DldcCodec()
+    enc = codec.encode_log(word, mask)
+    if mask == 0:
+        assert enc.silent and enc.total_bits == 0
+        # A silent entry decodes to the in-place word itself.
+        assert codec.decode(enc, old_word=word) == mask_word(word)
+        return
+    # The base word agrees with the encoded word on the clean bytes and
+    # may hold anything (stale data) in the dirty positions.
+    base = scatter_bytes(mask_word(word), mask, select_bytes(junk, mask))
+    assert codec.decode(enc, old_word=base) == mask_word(word)
+
+
+@given(words, masks.filter(lambda m: m != 0))
+def test_dldc_never_beats_raw_dirty_bytes(word, mask):
+    """The compressed stream is never larger than the raw dirty bytes."""
+    enc = DldcCodec().encode_log(word, mask)
+    k = bin(mask).count("1")
+    assert enc.payload_bits <= 1 + 8 * k  # header + raw dirty bytes
+
+
+# ----------------------------------------------------------------------
+# SLDE: least-cost winner selection and the never-both-DLDC rule
+# ----------------------------------------------------------------------
+
+@given(words, words, masks)
+def test_slde_picks_cheaper_encoding(word, old, mask):
+    slde = SldeCodec(expansion_enabled=True)
+    ctx = LogWriteContext(old_word=old, dirty_mask=mask)
+    enc = slde.encode_log(word, ctx)
+    alt = slde.alternative.encode(word, old)
+    if mask == 0:
+        assert enc.silent
+        return
+    dldc = slde.dldc.encode_log(word, mask)
+    best = min(
+        alt.total_bits + ENCODING_TYPE_FLAG_BITS,
+        dldc.total_bits + ENCODING_TYPE_FLAG_BITS,
+    )
+    assert enc.total_bits + ENCODING_TYPE_FLAG_BITS == best
+    # Whatever won must still round-trip through the SLDE decoder.
+    base = old if enc.method == "dldc" else None
+    decoded = slde.decode(enc, base if base is not None else old)
+    if enc.method == "dldc":
+        # Base word: clean bytes shared with the encoded word.
+        base = scatter_bytes(mask_word(word), mask, select_bytes(old, mask))
+        decoded = slde.decode(enc, base)
+    assert decoded == mask_word(word)
+
+
+@given(words, masks, st.data())
+def test_slde_pair_never_both_dldc(undo, mask, data):
+    slde = SldeCodec(expansion_enabled=True)
+    # Redo differs from undo exactly inside the dirty mask.
+    dirty = data.draw(
+        st.lists(
+            st.integers(0, 0xFF),
+            min_size=bin(mask).count("1"),
+            max_size=bin(mask).count("1"),
+        )
+    )
+    redo = scatter_bytes(mask_word(undo), mask, dirty)
+    assert dirty_byte_mask(undo, redo) & ~mask == 0
+    undo_enc, redo_enc = slde.encode_undo_redo_pair(undo, redo, mask)
+    both_dldc = undo_enc.method == "dldc" and redo_enc.method == "dldc"
+    if both_dldc:
+        # Only allowed when one side wrote nothing at all.
+        assert undo_enc.silent or redo_enc.silent
+    # Each side must decode: a DLDC side borrows the other side's word as
+    # its base (they share every clean byte by construction).
+    if undo_enc.method == "dldc":
+        assert slde.decode(undo_enc, redo) == mask_word(undo)
+    else:
+        assert slde.decode(undo_enc) == mask_word(undo)
+    if redo_enc.method == "dldc":
+        assert slde.decode(redo_enc, undo) == mask_word(redo)
+    else:
+        assert slde.decode(redo_enc) == mask_word(redo)
+
+
+@given(words, masks)
+def test_slde_silent_iff_clean(word, mask):
+    slde = SldeCodec(expansion_enabled=True)
+    enc = slde.encode_log(word, LogWriteContext(old_word=None, dirty_mask=mask))
+    assert enc.silent == (mask == 0)
