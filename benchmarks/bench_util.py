@@ -2,10 +2,13 @@
 
 Every benchmark writes its paper-shaped table to ``benchmarks/results/``
 (and prints it), so a full ``pytest benchmarks/ --benchmark-only`` run
-leaves the regenerated evaluation on disk next to the code.
+leaves the regenerated evaluation on disk next to the code.  Writes are
+atomic (temp file + ``os.replace``) so parallel benchmark runs can never
+interleave into a torn result file.
 """
 
 import os
+import tempfile
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -13,7 +16,16 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 def emit(name: str, text: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, name + ".txt")
-    with open(path, "w") as handle:
-        handle.write(text + "\n")
+    fd, tmp_path = tempfile.mkstemp(prefix="." + name + "-", dir=RESULTS_DIR)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text + "\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
     print()
     print(text)

@@ -68,6 +68,51 @@ def _parser() -> argparse.ArgumentParser:
     run_p.add_argument("--threads", type=int, default=4)
     run_p.add_argument("--large", action="store_true", help="4 KB dataset items")
 
+    grid_p = sub.add_parser(
+        "grid",
+        help="run a design x workload grid in parallel with result caching",
+    )
+    grid_p.add_argument(
+        "--designs",
+        default=",".join(DESIGN_NAMES),
+        help="comma-separated design names, or 'all' (default: the six"
+        " evaluated designs)",
+    )
+    grid_p.add_argument(
+        "--workloads",
+        default="micro",
+        help="comma-separated workload names, or 'micro'/'macro'",
+    )
+    grid_p.add_argument("--large", action="store_true", help="4 KB dataset items")
+    grid_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: all CPU cores)",
+    )
+    grid_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always re-simulate (skip the result cache)",
+    )
+    grid_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: REPRO_CACHE_DIR or"
+        " ~/.cache/morlog-repro/grid)",
+    )
+    grid_p.add_argument(
+        "--transactions", type=int, default=None,
+        help="override per-cell transaction count",
+    )
+    grid_p.add_argument(
+        "--threads", type=int, default=None,
+        help="override per-cell thread count",
+    )
+    grid_p.add_argument(
+        "--timing", action="store_true", help="print the per-cell timing table"
+    )
+
     cmp_p = sub.add_parser("compare", help="all designs on one workload")
     cmp_p.add_argument(
         "--workload",
@@ -178,6 +223,98 @@ def _cmd_run(args) -> None:
                        "%s on %s" % (args.design, args.workload)))
 
 
+def _cmd_grid(args) -> int:
+    from repro.experiments.cache import ResultCache, default_cache_dir
+    from repro.experiments.parallel import default_jobs, resolve_cell, run_cells
+    from repro.experiments.figures import normalized_table
+
+    if args.designs == "all":
+        designs = list(ALL_DESIGNS)
+    else:
+        designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    for design in designs:
+        if design not in ALL_DESIGNS:
+            print("unknown design %r (choose from %s)" % (design, ALL_DESIGNS))
+            return 2
+    if args.workloads == "micro":
+        workloads = list(MICRO_WORKLOADS)
+    elif args.workloads == "macro":
+        workloads = list(MACRO_WORKLOADS)
+    else:
+        workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    known = MICRO_WORKLOADS + MACRO_WORKLOADS
+    for workload in workloads:
+        if workload not in known:
+            print("unknown workload %r (choose from %s)" % (workload, known))
+            return 2
+
+    dataset = DatasetSize.LARGE if args.large else DatasetSize.SMALL
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(cache_dir=args.cache_dir or default_cache_dir())
+    specs = [
+        resolve_cell(
+            design, workload, dataset,
+            n_transactions=args.transactions, n_threads=args.threads,
+        )
+        for workload in workloads
+        for design in designs
+    ]
+    flat, report = run_cells(specs, jobs=args.jobs or default_jobs(), cache=cache)
+
+    from collections import OrderedDict
+
+    values: "OrderedDict" = OrderedDict()
+    index = 0
+    for workload in workloads:
+        row: "OrderedDict" = OrderedDict()
+        for design in designs:
+            row[design] = flat[index].throughput_tx_per_s
+            index += 1
+        values[workload] = row
+    baseline = designs[0]
+    headers = ["workload"] + designs
+    rows = []
+    for workload, row in values.items():
+        base = row[baseline]
+        rows.append(
+            [workload] + [row[d] / base if base else float("nan") for d in designs]
+        )
+    print(
+        format_table(
+            headers,
+            rows,
+            "grid throughput (normalized to %s)" % baseline,
+            float_format="%.3f",
+        )
+    )
+    if args.timing:
+        timing_rows = [
+            [c.workload, c.design, "hit" if c.cached else "miss", c.seconds]
+            for c in report.cells
+        ]
+        print(
+            format_table(
+                ["workload", "design", "cache", "seconds"],
+                timing_rows,
+                "per-cell timing",
+                float_format="%.3f",
+            )
+        )
+    print(report.summary())
+    if cache is not None:
+        print(
+            "cache: hits=%d misses=%d stores=%d dir=%s"
+            % (
+                cache.stats.hits,
+                cache.stats.misses,
+                cache.stats.stores,
+                cache.cache_dir,
+            )
+        )
+    return 0
+
+
 def _cmd_compare(args) -> None:
     rows = []
     baseline = None
@@ -215,6 +352,8 @@ def main(argv=None) -> int:
             print(name)
     elif args.command == "run":
         _cmd_run(args)
+    elif args.command == "grid":
+        return _cmd_grid(args)
     elif args.command == "compare":
         _cmd_compare(args)
     elif args.command == "figure":

@@ -71,6 +71,8 @@ class System:
         config.validate()
         self.config = config
         self.design_name = design_name
+        self._logger_factory = logger_factory
+        self._ran = False
         self.stats = StatGroup("system")
         self.controller = MemoryController(config, self.stats)
         log_base = config.nvmm_base + config.nvm.size_bytes
@@ -315,12 +317,44 @@ class System:
             return self.controller.nvm.array.read_logical(addr)
         return self.controller.dram.read_word(addr)
 
+    def reset_machine(self) -> None:
+        """Rebuild every substrate, as if the System were freshly built.
+
+        :meth:`run` cold-resets a reused machine through here so a second
+        run sees exactly what a fresh System would — cold caches, an
+        empty log region, pristine NVM cells — instead of inheriting the
+        previous run's residue.  Rebuilding via the constructor makes
+        that equivalence hold by construction; externally installed taps
+        (trace, crash hook, crash plan) survive the rebuild.
+        """
+        trace = self.trace
+        crash_hook = self.crash_hook
+        crash_plan = self.crash_plan
+        self.__init__(self.config, self._logger_factory, self.design_name)
+        self.trace = trace
+        self.crash_hook = crash_hook
+        if crash_plan is not None:
+            self.install_crash_plan(crash_plan)
+
     def reset_measurement(self) -> None:
-        """Zero all counters and clocks (call after workload setup)."""
+        """Zero all counters, clocks and run-loop state.
+
+        Called after workload setup, and again at the top of every
+        :meth:`run` — a reused System must not inherit the previous run's
+        FWB schedule, truncation epochs, staged non-temporal stores or
+        transaction-table bookkeeping, or its second run diverges from a
+        fresh machine's (regression-tested in tests/test_system.py).
+        """
         self.stats.reset()
         self.controller.nvm.timing.reset()
         self.core_time_ns = [0.0] * self.config.cores.n_cores
         self.completed_transactions = 0
+        self._next_fwb_ns = self._fwb_interval_ns
+        self._scans_done = 0
+        self._commit_epoch.clear()
+        self._nt_staging.clear()
+        self._pending_lines.clear()
+        self._line_txs.clear()
 
     # ------------------------------------------------------------------
     # Force-write-back and log truncation (section III-F)
@@ -385,6 +419,9 @@ class System:
         n_threads = n_threads or self.config.cores.n_cores
         if n_threads > self.config.cores.n_cores:
             raise ValueError("more threads than cores")
+        if self._ran:
+            self.reset_machine()
+        self._ran = True
         workload.setup(self, n_threads)
         self.reset_measurement()
         self._active_threads = n_threads

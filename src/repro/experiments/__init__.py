@@ -5,10 +5,24 @@ evaluation artifact (Figure 3/5/12-16, Table I/II/V/VI, and the section
 VI-E sensitivity study) and returns its data in a structured form; the
 ``benchmarks/`` tree wraps each one in a pytest-benchmark case that also
 prints the paper-shaped table.
+
+Grids run through :mod:`repro.experiments.parallel` (process-pool fan-out
+with deterministic assembly) backed by the content-addressed result cache
+in :mod:`repro.experiments.cache`.
 """
 
 from repro.experiments.runner import ExperimentScale, run_design, run_grid
 from repro.experiments.headline import HeadlineResult, headline_comparison
+from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.parallel import (
+    CellSpec,
+    GridOutcome,
+    GridReport,
+    default_jobs,
+    resolve_cell,
+    run_cells,
+    run_grid_parallel,
+)
 from repro.experiments import figures
 
 __all__ = [
@@ -18,4 +32,13 @@ __all__ = [
     "figures",
     "HeadlineResult",
     "headline_comparison",
+    "ResultCache",
+    "default_cache_dir",
+    "CellSpec",
+    "GridOutcome",
+    "GridReport",
+    "default_jobs",
+    "resolve_cell",
+    "run_cells",
+    "run_grid_parallel",
 ]

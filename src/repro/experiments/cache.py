@@ -1,0 +1,162 @@
+"""Content-addressed on-disk cache for grid cell results.
+
+A grid cell is fully determined by its inputs — (design, workload,
+dataset, :class:`SystemConfig`, :class:`WorkloadParams`, transaction and
+thread counts) plus the ``REPRO_SCALE`` environment knob — and seeded
+workloads make every cell deterministic, so its :class:`RunResult` can be
+stored under a hash of those inputs and replayed on any later run.  The
+key is the SHA-256 of the inputs' canonical JSON (see
+:mod:`repro.experiments.serialize`); changing any keyed input, or the
+cache format version, yields a different key and therefore a miss.
+
+Layout: ``<cache_dir>/<key[:2]>/<key>.json``, each file holding the key
+inputs (for debuggability) next to the serialized result.  Writes go
+through a temp file + :func:`os.replace` so concurrent writers can never
+leave a torn entry, and corrupt/unreadable entries read as misses.
+"""
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.system import RunResult
+from repro.experiments.serialize import (
+    config_to_dict,
+    params_to_dict,
+    run_result_from_dict,
+    run_result_to_dict,
+    stable_hash,
+)
+
+# Bump when the key schema or the stored result format changes; every
+# existing entry then misses instead of deserializing garbage.
+CACHE_VERSION = 1
+
+# Default location; override with --cache-dir / the REPRO_CACHE_DIR env.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.expanduser("~/.cache")
+    return os.path.join(xdg, "morlog-repro", "grid")
+
+
+def cell_key_fields(
+    design: str,
+    workload: str,
+    dataset_name: str,
+    config_dict: Dict[str, Any],
+    params_dict: Dict[str, Any],
+    n_transactions: int,
+    n_threads: int,
+    repro_scale: float,
+) -> Dict[str, Any]:
+    """The exact dict that is hashed into a cache key."""
+    return {
+        "version": CACHE_VERSION,
+        "design": design,
+        "workload": workload,
+        "dataset": dataset_name,
+        "config": config_dict,
+        "params": params_dict,
+        "n_transactions": n_transactions,
+        "n_threads": n_threads,
+        "repro_scale": repro_scale,
+    }
+
+
+def cell_key(
+    design: str,
+    workload: str,
+    dataset,
+    config,
+    params,
+    n_transactions: int,
+    n_threads: int,
+    repro_scale: float,
+) -> str:
+    """Content hash of one grid cell's inputs (dataclass arguments)."""
+    return stable_hash(
+        cell_key_fields(
+            design,
+            workload,
+            dataset.name,
+            config_to_dict(config),
+            params_to_dict(params),
+            n_transactions,
+            n_threads,
+            repro_scale,
+        )
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one engine invocation."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store mapping cell keys to RunResults."""
+
+    cache_dir: str = field(default_factory=default_cache_dir)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or None (counted as hit/miss)."""
+        try:
+            with open(self._path(key)) as handle:
+                payload = json.load(handle)
+            result = run_result_from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult, key_fields: Optional[dict] = None) -> None:
+        """Store ``result`` atomically (tmp file + os.replace)."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {
+            "key": key,
+            "key_fields": key_fields,
+            "result": run_result_to_dict(result),
+        }
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".tmp-" + key[:8] + "-", dir=os.path.dirname(path)
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        if not os.path.isdir(self.cache_dir):
+            return 0
+        count = 0
+        for _root, _dirs, files in os.walk(self.cache_dir):
+            count += sum(1 for f in files if f.endswith(".json"))
+        return count

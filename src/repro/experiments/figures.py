@@ -189,9 +189,11 @@ def fig12_micro_throughput(
     dataset: DatasetSize = DatasetSize.SMALL,
     scale: Optional[ExperimentScale] = None,
     designs: Sequence[str] = DESIGN_NAMES,
+    jobs: Optional[int] = None,
+    cache=None,
 ):
     """Figure 12: micro-benchmark throughput, normalized to FWB-CRADE."""
-    grid = run_grid(designs, MICRO, dataset, scale)
+    grid = run_grid(designs, MICRO, dataset, scale, jobs=jobs, cache=cache)
     values = _grid_metric(grid, lambda r: r.throughput_tx_per_s)
     return grid, values
 
@@ -201,10 +203,12 @@ def fig13_write_traffic(
     scale: Optional[ExperimentScale] = None,
     designs: Sequence[str] = DESIGN_NAMES,
     grid=None,
+    jobs: Optional[int] = None,
+    cache=None,
 ):
     """Figure 13: NVMM write traffic, normalized to FWB-CRADE."""
     if grid is None:
-        grid = run_grid(designs, MICRO, dataset, scale)
+        grid = run_grid(designs, MICRO, dataset, scale, jobs=jobs, cache=cache)
     values = _grid_metric(grid, lambda r: float(r.nvmm_writes))
     return grid, values
 
@@ -213,13 +217,15 @@ def table5_write_energy(
     scale: Optional[ExperimentScale] = None,
     designs: Sequence[str] = DESIGN_NAMES,
     grids=None,
+    jobs: Optional[int] = None,
+    cache=None,
 ):
     """Table V: NVMM write-energy reduction vs FWB-CRADE, both sizes."""
     out: "OrderedDict[str, OrderedDict[str, float]]" = OrderedDict()
     for dataset, label in ((DatasetSize.SMALL, "Small"), (DatasetSize.LARGE, "Large")):
         grid = None if grids is None else grids.get(label)
         if grid is None:
-            grid = run_grid(designs, MICRO, dataset, scale)
+            grid = run_grid(designs, MICRO, dataset, scale, jobs=jobs, cache=cache)
         energy = _grid_metric(grid, lambda r: r.nvmm_write_energy_pj)
         reductions: "OrderedDict[str, float]" = OrderedDict()
         for design in designs:
@@ -232,6 +238,8 @@ def table5_write_energy(
 def table6_log_bits(
     scale: Optional[ExperimentScale] = None,
     designs: Sequence[str] = DESIGN_NAMES,
+    jobs: Optional[int] = None,
+    cache=None,
 ):
     """Table VI: log-bit reduction with expansion coding disabled."""
     base = default_config()
@@ -240,7 +248,9 @@ def table6_log_bits(
     )
     out: "OrderedDict[str, OrderedDict[str, float]]" = OrderedDict()
     for dataset, label in ((DatasetSize.SMALL, "Small"), (DatasetSize.LARGE, "Large")):
-        grid = run_grid(designs, MICRO, dataset, scale, config=config)
+        grid = run_grid(
+            designs, MICRO, dataset, scale, config=config, jobs=jobs, cache=cache
+        )
         bits = _grid_metric(grid, lambda r: float(r.log_bits))
         reductions: "OrderedDict[str, float]" = OrderedDict()
         for design in designs:
@@ -253,15 +263,26 @@ def table6_log_bits(
 def fig14_macro_throughput(
     scale: Optional[ExperimentScale] = None,
     designs: Sequence[str] = DESIGN_NAMES,
+    jobs: Optional[int] = None,
+    cache=None,
 ):
     """Figure 14: macro-benchmark throughput, normalized to FWB-CRADE."""
+    from repro.experiments.parallel import resolve_cell, run_cells
+
     scale = scale or ExperimentScale()
+    specs = [
+        resolve_cell(design, workload, dataset, scale)
+        for workload, dataset, _label in MACRO_CELLS
+        for design in designs
+    ]
+    flat, _report = run_cells(specs, jobs=jobs or 1, cache=cache)
     values: "OrderedDict[str, OrderedDict[str, float]]" = OrderedDict()
-    for workload, dataset, label in MACRO_CELLS:
+    index = 0
+    for _workload, _dataset, label in MACRO_CELLS:
         row: "OrderedDict[str, float]" = OrderedDict()
         for design in designs:
-            result = run_design(design, workload, dataset, scale)
-            row[design] = result.throughput_tx_per_s
+            row[design] = flat[index].throughput_tx_per_s
+            index += 1
         values[label] = row
     return values
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.common.stats import geometric_mean
-from repro.experiments.runner import ExperimentScale, run_design
+from repro.experiments.runner import ExperimentScale
 from repro.workloads.base import DatasetSize
 
 PAPER_HEADLINE = {
@@ -66,14 +66,28 @@ def headline_comparison(
     cells: Sequence[Tuple[str, DatasetSize]] = DEFAULT_CELLS,
     design: str = "MorLog-DP",
     baseline: str = "FWB-CRADE",
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> HeadlineResult:
-    """Measure the abstract's three deltas on this substrate."""
+    """Measure the abstract's three deltas on this substrate.
+
+    ``jobs``/``cache`` fan the (baseline, design) cell pairs out through
+    the parallel engine; the ratios are identical either way.
+    """
+    from repro.experiments.parallel import resolve_cell, run_cells
+
+    specs = [
+        resolve_cell(name, workload, dataset, scale)
+        for workload, dataset in cells
+        for name in (baseline, design)
+    ]
+    flat, _report = run_cells(specs, jobs=jobs or 1, cache=cache)
     throughput_ratios = []
     traffic_ratios = []
     energy_ratios = []
-    for workload, dataset in cells:
-        base = run_design(baseline, workload, dataset, scale)
-        ours = run_design(design, workload, dataset, scale)
+    for i, (workload, dataset) in enumerate(cells):
+        base = flat[2 * i]
+        ours = flat[2 * i + 1]
         throughput_ratios.append(
             ours.throughput_tx_per_s / base.throughput_tx_per_s
         )

@@ -1,0 +1,294 @@
+"""Parallel grid engine: fan (design x workload x dataset) cells out over
+a process pool, backed by the content-addressed result cache.
+
+The paper's evaluation is an embarrassingly parallel sweep (8 designs x
+12 workloads, Figs 12-16): every cell is an independent, seeded and
+therefore deterministic simulation.  This module resolves each cell to an
+explicit, serializable :class:`CellSpec` in the parent (so ``REPRO_SCALE``
+and the :class:`ExperimentScale` are applied exactly once, before the
+process boundary), checks the cache, and submits only the misses to a
+``concurrent.futures.ProcessPoolExecutor``.  Results are assembled by
+cell identity — never by completion order — so a parallel run is
+bit-identical to a sequential one; ``jobs=1`` (or a single cell) runs
+inline in-process for the same reason, which also keeps the engine usable
+where process pools are unavailable.
+
+Per-cell wall time and cache hit/miss counters land in the returned
+:class:`GridReport`, making cache speedup and pool scaling observable.
+"""
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.system import RunResult
+from repro.experiments.cache import ResultCache, cell_key_fields
+from repro.experiments.serialize import (
+    config_from_dict,
+    config_to_dict,
+    params_from_dict,
+    params_to_dict,
+    run_result_from_dict,
+    run_result_to_dict,
+    stable_hash,
+)
+from repro.workloads.base import DatasetSize, WorkloadParams
+
+
+def default_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One fully-resolved grid cell: everything a worker needs, as data.
+
+    Transaction/thread counts are resolved before construction, so the
+    spec (and hence the cache key) is independent of the environment the
+    worker process happens to see.
+    """
+
+    design: str
+    workload: str
+    dataset: DatasetSize
+    config_dict: Dict[str, Any]
+    params_dict: Dict[str, Any]
+    n_transactions: int
+    n_threads: int
+    repro_scale: float
+
+    def key_fields(self) -> Dict[str, Any]:
+        return cell_key_fields(
+            self.design,
+            self.workload,
+            self.dataset.name,
+            self.config_dict,
+            self.params_dict,
+            self.n_transactions,
+            self.n_threads,
+            self.repro_scale,
+        )
+
+    def key(self) -> str:
+        return stable_hash(self.key_fields())
+
+
+def resolve_cell(
+    design: str,
+    workload: str,
+    dataset: DatasetSize = DatasetSize.SMALL,
+    scale=None,
+    config=None,
+    params=None,
+    n_transactions: Optional[int] = None,
+    n_threads: Optional[int] = None,
+) -> CellSpec:
+    """Resolve run_design-style arguments into an explicit CellSpec."""
+    from repro.experiments.runner import (
+        ExperimentScale,
+        MACRO_NAMES,
+        _scale,
+        default_config,
+        resolve_params,
+    )
+
+    scale = scale or ExperimentScale()
+    config = config if config is not None else default_config()
+    params = resolve_params(params, dataset)
+    macro = workload in MACRO_NAMES
+    return CellSpec(
+        design=design,
+        workload=workload,
+        dataset=dataset,
+        config_dict=config_to_dict(config),
+        params_dict=params_to_dict(params),
+        n_transactions=n_transactions or scale.transactions(macro, dataset),
+        n_threads=n_threads or scale.threads(macro),
+        repro_scale=_scale(),
+    )
+
+
+def _run_cell_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: simulate one cell from its serialized spec.
+
+    Must stay a module-level function so it pickles under every
+    multiprocessing start method; returns plain dicts for the same
+    reason.  Wall time is measured here so the report reflects the
+    simulation itself, not pool queueing.
+    """
+    from repro.experiments.runner import run_design
+
+    started = time.perf_counter()
+    result = run_design(
+        payload["design"],
+        payload["workload"],
+        DatasetSize[payload["dataset"]],
+        config=config_from_dict(payload["config_dict"]),
+        params=params_from_dict(payload["params_dict"]),
+        n_transactions=payload["n_transactions"],
+        n_threads=payload["n_threads"],
+    )
+    return {
+        "result": run_result_to_dict(result),
+        "seconds": time.perf_counter() - started,
+    }
+
+
+def _payload(spec: CellSpec) -> Dict[str, Any]:
+    return {
+        "design": spec.design,
+        "workload": spec.workload,
+        "dataset": spec.dataset.name,
+        "config_dict": spec.config_dict,
+        "params_dict": spec.params_dict,
+        "n_transactions": spec.n_transactions,
+        "n_threads": spec.n_threads,
+    }
+
+
+@dataclass
+class CellReport:
+    """Where one cell's result came from and what it cost."""
+
+    design: str
+    workload: str
+    dataset: str
+    cached: bool
+    seconds: float
+    key: str
+
+
+@dataclass
+class GridReport:
+    """Observability for one engine invocation."""
+
+    cells: List[CellReport] = field(default_factory=list)
+    jobs: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for c in self.cells if c.cached)
+
+    @property
+    def misses(self) -> int:
+        return sum(1 for c in self.cells if not c.cached)
+
+    @property
+    def simulated_cells(self) -> int:
+        return self.misses
+
+    @property
+    def simulated_seconds(self) -> float:
+        return sum(c.seconds for c in self.cells if not c.cached)
+
+    def summary(self) -> str:
+        return (
+            "grid: %d cells, %d simulated, %d cache hits, jobs=%d, "
+            "%.2fs wall (%.2fs simulated)"
+            % (
+                len(self.cells),
+                self.simulated_cells,
+                self.hits,
+                self.jobs,
+                self.wall_seconds,
+                self.simulated_seconds,
+            )
+        )
+
+
+@dataclass
+class GridOutcome:
+    """Results keyed like run_grid, plus the execution report."""
+
+    results: Dict[str, Dict[str, RunResult]]
+    report: GridReport
+
+
+def run_cells(
+    specs: List[CellSpec],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> Tuple[List[RunResult], GridReport]:
+    """Execute cells (cache-first, then pool) preserving input order."""
+    jobs = jobs or default_jobs()
+    report = GridReport(jobs=jobs)
+    started = time.perf_counter()
+
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    reports: List[Optional[CellReport]] = [None] * len(specs)
+    to_run: List[int] = []
+    for i, spec in enumerate(specs):
+        key = spec.key()
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            results[i] = cached
+            reports[i] = CellReport(
+                spec.design, spec.workload, spec.dataset.name, True, 0.0, key
+            )
+        else:
+            to_run.append(i)
+
+    if to_run:
+        payloads = [_payload(specs[i]) for i in to_run]
+        if jobs <= 1 or len(to_run) == 1:
+            outputs = [_run_cell_payload(p) for p in payloads]
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(to_run))) as pool:
+                outputs = list(pool.map(_run_cell_payload, payloads))
+        for i, output in zip(to_run, outputs):
+            spec = specs[i]
+            key = spec.key()
+            result = run_result_from_dict(output["result"])
+            results[i] = result
+            reports[i] = CellReport(
+                spec.design,
+                spec.workload,
+                spec.dataset.name,
+                False,
+                output["seconds"],
+                key,
+            )
+            if cache is not None:
+                cache.put(key, result, key_fields=spec.key_fields())
+
+    report.cells = [r for r in reports if r is not None]
+    report.wall_seconds = time.perf_counter() - started
+    return [r for r in results if r is not None], report
+
+
+def run_grid_parallel(
+    designs: Iterable[str],
+    workloads: Iterable[str],
+    dataset: DatasetSize = DatasetSize.SMALL,
+    scale=None,
+    config=None,
+    params: Optional[WorkloadParams] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> GridOutcome:
+    """Parallel, cached drop-in for :func:`repro.experiments.runner.run_grid`.
+
+    Returns the same ``{workload: {design: RunResult}}`` mapping (wrapped
+    in a :class:`GridOutcome` next to its report) with bit-identical
+    stats regardless of ``jobs``.
+    """
+    designs = list(designs)
+    workloads = list(workloads)
+    specs = [
+        resolve_cell(design, workload, dataset, scale, config, params)
+        for workload in workloads
+        for design in designs
+    ]
+    flat, report = run_cells(specs, jobs=jobs, cache=cache)
+    results: Dict[str, Dict[str, RunResult]] = {}
+    index = 0
+    for workload in workloads:
+        row: Dict[str, RunResult] = {}
+        for design in designs:
+            row[design] = flat[index]
+            index += 1
+        results[workload] = row
+    return GridOutcome(results=results, report=report)

@@ -6,23 +6,38 @@ the normalized ratios it reports stabilise well before that (there is a
 convergence test in ``tests/test_experiments.py``).  Set the environment
 variable ``REPRO_SCALE`` (float, default 1.0) to scale every transaction
 count up or down.
+
+``run_grid`` accepts ``jobs``/``cache`` and delegates to the parallel
+engine (:mod:`repro.experiments.parallel`) when either is set; results
+are bit-identical either way because every cell is seeded.
 """
 
 import os
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Optional
 
 from repro.common.config import LoggingConfig, SystemConfig
+from repro.common.errors import ConfigError
 from repro.core.designs import make_system
 from repro.core.system import RunResult
 from repro.workloads.base import DatasetSize, WorkloadParams, make_workload
 
 
 def _scale() -> float:
+    raw = os.environ.get("REPRO_SCALE", "1.0")
     try:
-        return float(os.environ.get("REPRO_SCALE", "1.0"))
+        scale = float(raw)
     except ValueError:
+        warnings.warn(
+            "ignoring malformed REPRO_SCALE=%r (expected a float)" % raw,
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return 1.0
+    if scale <= 0:
+        raise ConfigError("REPRO_SCALE must be positive, got %r" % raw)
+    return scale
 
 
 @dataclass(frozen=True)
@@ -55,6 +70,17 @@ def default_config() -> SystemConfig:
     return SystemConfig(logging=LoggingConfig(log_region_bytes=8 * 1024 * 1024))
 
 
+def resolve_params(
+    params: Optional[WorkloadParams], dataset: DatasetSize
+) -> WorkloadParams:
+    """The exact params a cell runs with: defaults + the requested dataset.
+
+    Uses :func:`dataclasses.replace` so every ``WorkloadParams`` field —
+    including ones added after this code was written — survives.
+    """
+    return replace(params or DEFAULT_PARAMS, dataset=dataset)
+
+
 def run_design(
     design: str,
     workload_name: str,
@@ -68,15 +94,7 @@ def run_design(
     """Run one (design, workload, dataset) cell."""
     scale = scale or ExperimentScale()
     config = config if config is not None else default_config()
-    params = params or DEFAULT_PARAMS
-    params = WorkloadParams(
-        dataset=dataset,
-        initial_items=params.initial_items,
-        key_space=params.key_space,
-        seed=params.seed,
-        zero_fraction=params.zero_fraction,
-        small_fraction=params.small_fraction,
-    )
+    params = resolve_params(params, dataset)
     macro = workload_name in MACRO_NAMES
     system = make_system(design, config)
     workload = make_workload(workload_name, params)
@@ -94,8 +112,22 @@ def run_grid(
     scale: Optional[ExperimentScale] = None,
     config: Optional[SystemConfig] = None,
     params: Optional[WorkloadParams] = None,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, Dict[str, RunResult]]:
-    """Run the full grid; returns {workload: {design: RunResult}}."""
+    """Run the full grid; returns {workload: {design: RunResult}}.
+
+    ``jobs`` > 1 fans the cells out over a process pool and ``cache`` (a
+    :class:`repro.experiments.cache.ResultCache`) reuses previous results;
+    both paths produce bit-identical stats.
+    """
+    if jobs is not None and jobs != 1 or cache is not None:
+        from repro.experiments.parallel import run_grid_parallel
+
+        return run_grid_parallel(
+            designs, workloads, dataset, scale, config, params,
+            jobs=jobs, cache=cache,
+        ).results
     results: Dict[str, Dict[str, RunResult]] = {}
     for workload in workloads:
         row: Dict[str, RunResult] = {}

@@ -34,6 +34,35 @@ def test_record_and_replay_roundtrip(tmp_path, capsys):
     assert "replayed transactions" in out
 
 
+def test_grid_command_cold_then_warm(tmp_path, capsys):
+    argv = ["grid", "--designs", "FWB-CRADE,MorLog-SLDE",
+            "--workloads", "queue", "--transactions", "12", "--threads", "1",
+            "--jobs", "2", "--cache-dir", str(tmp_path), "--timing"]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "grid throughput" in cold
+    assert "per-cell timing" in cold
+    assert "2 simulated" in cold
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "0 simulated, 2 cache hits" in warm
+    assert "hits=2 misses=0" in warm
+
+
+def test_grid_command_no_cache(capsys):
+    assert main(["grid", "--designs", "FWB-CRADE", "--workloads", "queue",
+                 "--transactions", "10", "--threads", "1", "--jobs", "1",
+                 "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "1 simulated, 0 cache hits" in out
+    assert "hits=" not in out
+
+
+def test_grid_command_rejects_unknown_names(capsys):
+    assert main(["grid", "--designs", "NoSuchDesign", "--no-cache"]) == 2
+    assert main(["grid", "--workloads", "nosuchworkload", "--no-cache"]) == 2
+
+
 def test_unknown_figure_rejected():
     with pytest.raises(SystemExit):
         main(["figure", "fig99"])

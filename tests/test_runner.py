@@ -1,17 +1,20 @@
 """Experiment runner plumbing tests (scale env var, param threading)."""
 
+import dataclasses
 import os
 
 import pytest
 
+from repro.common.errors import ConfigError
 from repro.experiments.runner import (
     DEFAULT_PARAMS,
     ExperimentScale,
     _scale,
     default_config,
+    resolve_params,
     run_design,
 )
-from repro.workloads.base import DatasetSize
+from repro.workloads.base import DatasetSize, WorkloadParams
 
 
 class TestScaleEnv:
@@ -24,14 +27,62 @@ class TestScaleEnv:
         scale = ExperimentScale(micro_transactions=100)
         assert scale.transactions(False, DatasetSize.SMALL) == 50
 
-    def test_bad_env_falls_back(self, monkeypatch):
+    def test_bad_env_falls_back_with_warning(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "lots")
-        assert _scale() == 1.0
+        with pytest.warns(RuntimeWarning, match="REPRO_SCALE"):
+            assert _scale() == 1.0
+
+    def test_zero_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0")
+        with pytest.raises(ConfigError, match="positive"):
+            _scale()
+
+    def test_negative_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "-0.5")
+        with pytest.raises(ConfigError, match="positive"):
+            _scale()
 
     def test_floor_of_ten(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "0.0001")
         scale = ExperimentScale()
         assert scale.transactions(False, DatasetSize.SMALL) == 10
+
+
+class TestResolveParams:
+    def test_no_field_is_lost(self):
+        """resolve_params must carry every WorkloadParams field through.
+
+        The old code rebuilt WorkloadParams field-by-field from a
+        hand-written list, silently dropping any field added later; this
+        constructs params with a non-default value in every field and
+        checks each one survives.
+        """
+        overrides = {}
+        for field in dataclasses.fields(WorkloadParams):
+            if field.name == "dataset":
+                continue
+            default = field.default
+            if isinstance(default, bool):
+                overrides[field.name] = not default
+            elif isinstance(default, int):
+                overrides[field.name] = default + 13
+            elif isinstance(default, float):
+                overrides[field.name] = default / 2 + 0.01
+            else:
+                pytest.fail(
+                    "unhandled field type for %r — extend this test" % field.name
+                )
+        params = WorkloadParams(**overrides)
+        resolved = resolve_params(params, DatasetSize.LARGE)
+        assert resolved.dataset is DatasetSize.LARGE
+        for name, value in overrides.items():
+            assert getattr(resolved, name) == value, name
+
+    def test_none_uses_defaults(self):
+        resolved = resolve_params(None, DatasetSize.SMALL)
+        assert resolved == dataclasses.replace(
+            DEFAULT_PARAMS, dataset=DatasetSize.SMALL
+        )
 
 
 class TestRunDesignPlumbing:

@@ -135,6 +135,57 @@ class TestSystemBasics:
         assert system.stats.get("stores") == 0
         assert system.core_time_ns[0] == 0.0
 
+    def test_reset_measurement_clears_run_loop_state(self):
+        system = make_tiny_system()
+        addr = system.config.nvmm_base
+        tx = system.begin_tx(0)
+        system.store_word(0, addr, 1)
+        system.end_tx(0)
+        system._run_fwb_scan(system.core_time_ns[0])
+        assert system._scans_done > 0 and system._commit_epoch
+        system._nt_staging[(0, tx.txid)] = {addr: 5}
+        system._pending_lines[tx.txid] = {addr}
+        system._line_txs[addr] = {tx.txid}
+        system.reset_measurement()
+        assert system._scans_done == 0
+        assert system._next_fwb_ns == system._fwb_interval_ns
+        assert not system._commit_epoch
+        assert not system._nt_staging
+        assert not system._pending_lines
+        assert not system._line_txs
+
+    def test_back_to_back_runs_match_fresh_systems(self):
+        """A reused System's second run must equal a fresh System's run.
+
+        Before the reset fix, the second run() inherited the first run's
+        FWB schedule, truncation epochs, warm caches and log region, so
+        its stats diverged from a fresh machine's.
+        """
+        def run_once(system):
+            workload = make_workload(
+                "queue", WorkloadParams(initial_items=16, key_space=64)
+            )
+            return system.run(workload, 30, n_threads=2)
+
+        fresh = [run_once(make_tiny_system()) for _ in range(2)]
+        reused_system = make_tiny_system()
+        reused = [run_once(reused_system) for _ in range(2)]
+        for fresh_result, reused_result in zip(fresh, reused):
+            assert reused_result.stats == fresh_result.stats
+            assert reused_result.elapsed_ns == fresh_result.elapsed_ns
+
+    def test_reset_machine_preserves_taps(self):
+        system = make_tiny_system()
+        sentinel = object()
+        hook_calls = []
+        system.trace = sentinel
+        system.crash_hook = lambda: hook_calls.append(1)
+        system._ran = True
+        system.reset_machine()
+        assert system.trace is sentinel
+        assert system.crash_hook is not None
+        assert system.stats.get("stores") == 0
+
 
 class TestRunLoop:
     def test_run_returns_metrics(self):
