@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Observability tour: trace a run, read a timeline, export, profile.
+
+This walks the `repro.trace` subsystem end to end:
+
+1. run a MorLog system with the event bus enabled,
+2. show what the bus captured (categories, drops, per-name counts),
+3. assemble per-transaction timelines and walk one transaction's
+   events — log-entry creation, word-state transitions, persists,
+4. export a Chrome trace_event file (open it at https://ui.perfetto.dev)
+   and a one-document metrics snapshot,
+5. profile where *host* wall time goes, phase by phase.
+
+Run with:  python examples/tracing_demo.py
+"""
+
+import json
+import os
+import tempfile
+
+from repro.core.designs import make_system
+from repro.trace import (
+    TraceConfig,
+    assemble_timelines,
+    metrics_snapshot,
+    profile_design,
+    timeline_summary,
+    write_chrome_trace,
+)
+from repro.workloads.base import WorkloadParams, make_workload
+
+DESIGN = "MorLog-SLDE"
+WORKLOAD = "sps"
+PARAMS = WorkloadParams(initial_items=64, key_space=128, seed=7)
+
+
+def main() -> None:
+    # -- 1. a traced run ------------------------------------------------
+    system = make_system(DESIGN, trace=TraceConfig(enabled=True))
+    workload = make_workload(WORKLOAD, PARAMS)
+    result = system.run(workload, n_transactions=50, n_threads=2)
+    bus = system.tracer
+
+    print("run                :", DESIGN, "on", WORKLOAD)
+    print("transactions       :", result.transactions)
+    print("events captured    :", len(bus))
+
+    # -- 2. what the bus saw --------------------------------------------
+    summary = bus.summary()
+    print("\nevents by category :")
+    for category, count in summary["by_category"].items():
+        print("  %-12s %6d" % (category, count))
+    print("dropped            :", summary["dropped"],
+          "(ring capacity %d)" % bus.config.capacity)
+
+    # -- 3. one transaction's timeline ----------------------------------
+    timelines = assemble_timelines(bus.events)
+    tl = timelines[min(timelines)]
+    print("\ntimeline of txid=%d (core %s):" % (tl.txid, tl.core))
+    for event in tl.events[:12]:
+        detail = ", ".join(
+            "%s=%s" % (k, v) for k, v in sorted(event.args.items())
+        )
+        print("  %12.1f ns  %-14s %s" % (event.ts_ns, event.name, detail))
+    if len(tl.events) > 12:
+        print("  ... %d more events" % (len(tl.events) - 12))
+    stats = timeline_summary(timelines)
+    print("transactions timed :", stats["transactions"])
+
+    # -- 4. export ------------------------------------------------------
+    out_dir = tempfile.mkdtemp(prefix="repro-trace-")
+    trace_path = os.path.join(out_dir, "trace.json")
+    count = write_chrome_trace(
+        trace_path, bus.events, design=DESIGN, workload=WORKLOAD
+    )
+    print("\nwrote %s (%d events)" % (trace_path, count))
+    print("  -> open it at https://ui.perfetto.dev")
+
+    snapshot = metrics_snapshot(result, bus, design=DESIGN, workload=WORKLOAD)
+    snapshot_path = os.path.join(out_dir, "metrics.json")
+    with open(snapshot_path, "w") as fh:
+        json.dump(snapshot, fh, indent=1, sort_keys=True)
+    print("wrote %s (counters + timelines + histograms)" % snapshot_path)
+
+    # -- 5. where does the host time go? --------------------------------
+    print("\nper-phase host profile (simulating, not simulated, time):")
+    _result, report = profile_design(
+        DESIGN, WORKLOAD, n_transactions=50, n_threads=2, params=PARAMS
+    )
+    print(report.format())
+
+
+if __name__ == "__main__":
+    main()

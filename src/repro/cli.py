@@ -8,6 +8,8 @@ Commands:
 - ``figure`` — regenerate one paper table/figure by name.
 - ``overhead`` — print Table I for the current configuration.
 - ``fault-sweep`` — enumerate crash points and verify recovery at each.
+- ``trace`` — run one cell with event tracing, export a Chrome trace.
+- ``profile`` — run one cell under the host-side phase profiler.
 """
 
 import argparse
@@ -17,6 +19,30 @@ from repro.analysis.report import format_table
 from repro.core.designs import ABLATION_DESIGN_NAMES, DESIGN_NAMES, make_system
 
 ALL_DESIGNS = DESIGN_NAMES + ABLATION_DESIGN_NAMES
+
+#: Aliases the trace/profile verbs accept on top of the full design
+#: names: the fault-sweep scheme aliases plus "undo-redo" for the
+#: morphable undo+redo design (MorLog is the only logger with the
+#: ULog/URLog word states the timeline view is about).
+TRACE_DESIGN_ALIASES = {
+    "morlog": "MorLog-SLDE",
+    "morlog-dp": "MorLog-DP",
+    "fwb": "FWB-CRADE",
+    "undo-only": "Undo-CRADE",
+    "redo-only": "Redo-CRADE",
+    "undo-redo": "MorLog-SLDE",
+}
+
+
+def _resolve_trace_design(name: str) -> str:
+    full = TRACE_DESIGN_ALIASES.get(name.lower(), name)
+    if full not in ALL_DESIGNS:
+        raise SystemExit(
+            "unknown design %r (designs: %s; aliases: %s)"
+            % (name, ", ".join(ALL_DESIGNS),
+               ", ".join(sorted(TRACE_DESIGN_ALIASES)))
+        )
+    return full
 from repro.experiments import figures
 from repro.experiments.runner import ExperimentScale, default_config, run_design
 from repro.workloads.base import DatasetSize, MACRO_WORKLOADS, MICRO_WORKLOADS, WorkloadParams, make_workload
@@ -112,6 +138,13 @@ def _parser() -> argparse.ArgumentParser:
     grid_p.add_argument(
         "--timing", action="store_true", help="print the per-cell timing table"
     )
+    grid_p.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="also write a Chrome trace per simulated cell into DIR"
+        " (cached cells record whether their artifact already exists)",
+    )
 
     cmp_p = sub.add_parser("compare", help="all designs on one workload")
     cmp_p.add_argument(
@@ -199,6 +232,50 @@ def _parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the first counterexample schedule to FILE as JSON",
     )
+
+    tr_p = sub.add_parser(
+        "trace",
+        help="run one cell with event tracing, export a Chrome trace",
+    )
+    tr_p.add_argument(
+        "design",
+        help="design name or alias (undo-redo/morlog/morlog-dp/fwb/"
+        "undo-only/redo-only)",
+    )
+    tr_p.add_argument(
+        "workload", choices=MICRO_WORKLOADS + MACRO_WORKLOADS
+    )
+    tr_p.add_argument(
+        "--out", default="trace.json",
+        help="Chrome trace_event JSON output (load in Perfetto)",
+    )
+    tr_p.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="also dump the raw events as JSON lines",
+    )
+    tr_p.add_argument(
+        "--limit", type=int, default=1 << 20,
+        help="trace ring capacity in events (oldest dropped beyond it)",
+    )
+    tr_p.add_argument("--transactions", type=int, default=None)
+    tr_p.add_argument("--threads", type=int, default=None)
+    tr_p.add_argument("--large", action="store_true", help="4 KB dataset items")
+
+    pr_p = sub.add_parser(
+        "profile",
+        help="run one cell under the host-side phase profiler",
+    )
+    pr_p.add_argument("design", help="design name or alias")
+    pr_p.add_argument(
+        "workload", choices=MICRO_WORKLOADS + MACRO_WORKLOADS
+    )
+    pr_p.add_argument("--transactions", type=int, default=None)
+    pr_p.add_argument("--threads", type=int, default=None)
+    pr_p.add_argument("--large", action="store_true", help="4 KB dataset items")
+    pr_p.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the profile summary as JSON",
+    )
     return parser
 
 
@@ -260,7 +337,10 @@ def _cmd_grid(args) -> int:
         for workload in workloads
         for design in designs
     ]
-    flat, report = run_cells(specs, jobs=args.jobs or default_jobs(), cache=cache)
+    flat, report = run_cells(
+        specs, jobs=args.jobs or default_jobs(), cache=cache,
+        trace_dir=args.trace_dir,
+    )
 
     from collections import OrderedDict
 
@@ -302,6 +382,10 @@ def _cmd_grid(args) -> int:
             )
         )
     print(report.summary())
+    if args.trace_dir is not None:
+        traced = sum(1 for c in report.cells if c.trace_path is not None)
+        print("traces: %d/%d cells have artifacts in %s"
+              % (traced, len(report.cells), args.trace_dir))
     if cache is not None:
         print(
             "cache: hits=%d misses=%d stores=%d dir=%s"
@@ -374,6 +458,91 @@ def main(argv=None) -> int:
         _cmd_replay(args)
     elif args.command == "fault-sweep":
         return _cmd_fault_sweep(args)
+    elif args.command == "trace":
+        return _cmd_trace(args)
+    elif args.command == "profile":
+        return _cmd_profile(args)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.experiments.runner import run_design_traced
+    from repro.trace import (
+        TraceConfig,
+        assemble_timelines,
+        metrics_snapshot,
+        timeline_summary,
+        write_chrome_trace,
+    )
+    from repro.trace.export import write_event_lines
+
+    design = _resolve_trace_design(args.design)
+    dataset = DatasetSize.LARGE if args.large else DatasetSize.SMALL
+    result, bus = run_design_traced(
+        design,
+        args.workload,
+        dataset,
+        n_transactions=args.transactions,
+        n_threads=args.threads,
+        trace=TraceConfig(enabled=True, capacity=args.limit),
+    )
+    count = write_chrome_trace(
+        args.out, bus.events, design=design, workload=args.workload
+    )
+    print("wrote %d events to %s (load in ui.perfetto.dev)" % (count, args.out))
+    if args.events is not None:
+        n = write_event_lines(args.events, bus.events)
+        print("wrote %d raw events to %s" % (n, args.events))
+    summary = bus.summary()
+    if summary["dropped"]:
+        print(
+            "warning: ring dropped %d events (raise --limit beyond %d)"
+            % (summary["dropped"], args.limit)
+        )
+    rows = [[cat, n] for cat, n in summary["by_category"].items()]
+    print(format_table(["category", "events"], rows,
+                       "%s on %s" % (design, args.workload)))
+    tl = timeline_summary(assemble_timelines(bus.events))
+    print(format_table(
+        ["metric", "value"], [[k, v] for k, v in tl.items()], "transactions"
+    ))
+    snapshot = metrics_snapshot(result, bus, design=design, workload=args.workload)
+    print("metrics snapshot: %d counters, %d trace names"
+          % (len(snapshot["counters"]), len(snapshot["trace"]["bus"]["by_name"])))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro.trace import profile_design
+
+    design = _resolve_trace_design(args.design)
+    dataset = DatasetSize.LARGE if args.large else DatasetSize.SMALL
+    result, report = profile_design(
+        design,
+        args.workload,
+        dataset=dataset,
+        n_transactions=args.transactions,
+        n_threads=args.threads,
+    )
+    print(report.format("%s on %s (%d tx, %.0f tx/s simulated)" % (
+        design, args.workload, result.transactions, result.throughput_tx_per_s
+    )))
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json.dump(
+                {
+                    "design": design,
+                    "workload": args.workload,
+                    "transactions": result.transactions,
+                    "profile": report.as_dict(),
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+        print("profile summary written to %s" % args.json)
     return 0
 
 

@@ -13,9 +13,12 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 class StatGroup:
     """A named bag of additive counters.
 
-    Counters spring into existence on first use so components do not need a
-    registration step, but reports stay deterministic because insertion
-    order is preserved.
+    Counters spring into existence on first use so components do not need
+    a registration step.  Reports canonicalize to sorted key order:
+    insertion order depends on execution history (with :meth:`merge` over
+    disjoint key sets it even depends on which worker's group arrives
+    first), so it must never leak into anything that gets compared,
+    hashed, or diffed.
     """
 
     def __init__(self, name: str) -> None:
@@ -36,7 +39,7 @@ class StatGroup:
             self.add(key, value)
 
     def as_dict(self) -> Dict[str, float]:
-        return dict(self._counters)
+        return dict(sorted(self._counters.items()))
 
     def reset(self) -> None:
         self._counters.clear()

@@ -51,19 +51,25 @@ def _design_config(name: str, base: SystemConfig) -> SystemConfig:
     return base.with_changes(logging=logging, encoding=encoding)
 
 
-def make_system(name: str, config: Optional[SystemConfig] = None) -> System:
-    """Build a :class:`System` running design ``name``."""
+def make_system(
+    name: str, config: Optional[SystemConfig] = None, trace=None
+) -> System:
+    """Build a :class:`System` running design ``name``.
+
+    ``trace`` takes a :class:`repro.trace.TraceConfig`; when enabled the
+    built system carries a trace bus on every event-publishing layer.
+    """
     base = config if config is not None else SystemConfig()
     cfg = _design_config(name, base)
 
     if name == "Undo-CRADE":
         from repro.logging_hw.undo_only import UndoOnlyLogger
 
-        return System(cfg, UndoOnlyLogger, design_name=name)
+        return System(cfg, UndoOnlyLogger, design_name=name, trace_config=trace)
     if name == "Redo-CRADE":
         from repro.logging_hw.redo_only import RedoOnlyLogger
 
-        return System(cfg, RedoOnlyLogger, design_name=name)
+        return System(cfg, RedoOnlyLogger, design_name=name, trace_config=trace)
 
     if name.startswith("FWB"):
         if name == "FWB-Unsafe":
@@ -89,4 +95,4 @@ def make_system(name: str, config: Optional[SystemConfig] = None) -> System:
         def factory(config, controller, region, stats):
             return MorLogLogger(config, controller, region, stats)
 
-    return System(cfg, factory, design_name=name)
+    return System(cfg, factory, design_name=name, trace_config=trace)

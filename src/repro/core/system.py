@@ -67,6 +67,7 @@ class System:
         config: SystemConfig,
         logger_factory: Callable[..., HardwareLogger],
         design_name: str = "custom",
+        trace_config=None,
     ) -> None:
         config.validate()
         self.config = config
@@ -129,6 +130,13 @@ class System:
         # Optional fault-injection plan observing named crash points
         # (see repro.faultinject.plan); installed on every layer at once.
         self.crash_plan = None
+        # Structured event tracing (see repro.trace): a TraceBus every
+        # layer publishes typed events to, or None — the emission sites
+        # are all guarded so a traceless run pays only the None test.
+        self.tracer = None
+        self.trace_config = trace_config
+        if trace_config is not None and trace_config.enabled:
+            self.install_tracer(trace_config.make_bus())
 
     def install_crash_plan(self, plan) -> None:
         """Thread a fault-injection plan through every persistence layer.
@@ -145,6 +153,23 @@ class System:
                 region.crash_plan = plan
         else:
             self.log_region.crash_plan = plan
+
+    def install_tracer(self, bus) -> None:
+        """Attach a trace bus to every event-publishing layer.
+
+        Mirrors :meth:`install_crash_plan`: the same bus object lands on
+        the system, the logger, each log region and the NVM module, so
+        the exported stream is one globally-ordered sequence of events.
+        Pass None to detach.
+        """
+        self.tracer = bus
+        self.logger.tracer = bus
+        self.controller.nvm.set_tracer(bus)
+        if isinstance(self.log_region, LogRegionSet):
+            for region in self.log_region.regions:
+                region.tracer = bus
+        else:
+            self.log_region.tracer = bus
 
     # ------------------------------------------------------------------
     # Core-visible memory operations
@@ -267,6 +292,8 @@ class System:
             return self.current_tx[core]
         tx = self.logger.begin_tx(core, self.core_time_ns[core])
         self.current_tx[core] = tx
+        if self.tracer is not None:
+            self.tracer.emit("tx-begin", "tx", tx.begin_ns, core=core, txid=tx.txid)
         return tx
 
     def end_tx(self, core: int) -> None:
@@ -279,6 +306,16 @@ class System:
             self.crash_plan.fire("tx-commit", txid=tx.txid)
         now = self.logger.commit_tx(tx, self.core_time_ns[core])
         now = self._flush_nt_staging(tx, now)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "tx-commit",
+                "tx",
+                tx.begin_ns,
+                core=core,
+                txid=tx.txid,
+                dur_ns=max(now - tx.begin_ns, 0.0),
+                n_stores=tx.n_stores,
+            )
         self.core_time_ns[core] = now
         self.current_tx[core] = None
         self._commit_epoch[tx.txid] = self._scans_done
@@ -290,13 +327,18 @@ class System:
 
     def run_transaction(self, core: int, body: Callable[[TxContext], None]) -> None:
         """Execute one durable transaction on ``core``."""
-        self.begin_tx(core)
+        tx = self.begin_tx(core)
         try:
             body(self.contexts[core])
             self.end_tx(core)
         except CrashInjected:
             # The machine "lost power": volatile state is gone, the
             # persistence domain stays as is.  Tests call recover() next.
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "tx-crash", "tx", self.core_time_ns[core],
+                    core=core, txid=tx.txid,
+                )
             self.current_tx[core] = None
             raise
         self._maybe_force_write_back()
@@ -330,11 +372,17 @@ class System:
         trace = self.trace
         crash_hook = self.crash_hook
         crash_plan = self.crash_plan
+        tracer = self.tracer
+        trace_config = self.trace_config
         self.__init__(self.config, self._logger_factory, self.design_name)
         self.trace = trace
         self.crash_hook = crash_hook
+        self.trace_config = trace_config
         if crash_plan is not None:
             self.install_crash_plan(crash_plan)
+        if tracer is not None:
+            # Reattach the same bus so events captured so far survive.
+            self.install_tracer(tracer)
 
     def reset_measurement(self) -> None:
         """Zero all counters, clocks and run-loop state.
@@ -371,6 +419,11 @@ class System:
             self.crash_plan.fire("fwb-scan")
         done = self.hierarchy.force_write_back_scan(now_ns)
         self._scans_done += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "fwb-scan", "fwb", now_ns,
+                dur_ns=max(done - now_ns, 0.0), index=self._scans_done,
+            )
         self._truncate_log(done)
         return done
 
@@ -472,10 +525,23 @@ class System:
         else:
             bases = self.log_region.base_addr
             region_size = self.config.logging.log_region_bytes
-        return recover(
+        state = recover(
             self.controller,
             bases,
             region_size,
             delay_persistence=self.config.logging.delay_persistence,
             verify_decode=verify_decode,
         )
+        if self.tracer is not None:
+            # Recovery runs on a fresh power-on timeline; ts 0 by design.
+            self.tracer.emit(
+                "recovery",
+                "recovery",
+                0.0,
+                committed=len(state.committed_txids),
+                persisted=len(state.persisted_txids),
+                redone_words=state.redone_words,
+                undone_words=state.undone_words,
+                decode_verified_words=state.decode_verified_words,
+            )
+        return state

@@ -49,6 +49,11 @@ class SldeCodec(WordCodec):
         self._alternative = alternative
         self._dldc = DldcCodec()
         self._expansion_enabled = expansion_enabled
+        # Observation tap for the size comparator (installed by the NVM
+        # module when tracing is on): called with
+        # (word, chosen_method, chosen_bits, rejected_method,
+        #  rejected_bits, silent) after every log-word decision.
+        self.decision_hook = None
 
     @property
     def alternative(self) -> WordCodec:
@@ -73,12 +78,31 @@ class SldeCodec(WordCodec):
         alt = self._alternative.encode(word, context.old_word)
         alt_cost = alt.total_bits + ENCODING_TYPE_FLAG_BITS
         if not context.allow_dldc:
+            if self.decision_hook is not None:
+                self.decision_hook(
+                    word, alt.method, alt.total_bits, None, None, alt.silent
+                )
             return alt
         dldc = self._dldc.encode_log(word, context.dirty_mask)
         if dldc.silent:
+            if self.decision_hook is not None:
+                self.decision_hook(
+                    word, "dldc", dldc.total_bits, alt.method, alt.total_bits, True
+                )
             return dldc
         dldc_cost = dldc.total_bits + ENCODING_TYPE_FLAG_BITS
-        return dldc if dldc_cost < alt_cost else alt
+        chosen = dldc if dldc_cost < alt_cost else alt
+        if self.decision_hook is not None:
+            rejected = alt if chosen is dldc else dldc
+            self.decision_hook(
+                word,
+                chosen.method,
+                chosen.total_bits,
+                rejected.method,
+                rejected.total_bits,
+                chosen.silent,
+            )
+        return chosen
 
     def encode_undo_redo_pair(
         self,

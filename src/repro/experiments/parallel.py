@@ -117,11 +117,22 @@ def _run_cell_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     multiprocessing start method; returns plain dicts for the same
     reason.  Wall time is measured here so the report reflects the
     simulation itself, not pool queueing.
+
+    When the payload carries a ``trace_path`` the cell runs with tracing
+    enabled and exports a Chrome trace there.  Tracing is inert
+    (test-enforced), so the result — and hence the cache entry — is
+    bit-identical either way and the cache key needs no trace field.
     """
-    from repro.experiments.runner import run_design
+    from repro.experiments.runner import run_design_traced
 
     started = time.perf_counter()
-    result = run_design(
+    trace_path = payload.get("trace_path")
+    trace = None
+    if trace_path is not None:
+        from repro.trace import TraceConfig
+
+        trace = TraceConfig(enabled=True)
+    result, bus = run_design_traced(
         payload["design"],
         payload["workload"],
         DatasetSize[payload["dataset"]],
@@ -129,14 +140,25 @@ def _run_cell_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         params=params_from_dict(payload["params_dict"]),
         n_transactions=payload["n_transactions"],
         n_threads=payload["n_threads"],
+        trace=trace,
     )
+    if bus is not None and trace_path is not None:
+        from repro.trace import write_chrome_trace
+
+        write_chrome_trace(
+            trace_path,
+            bus.events,
+            design=payload["design"],
+            workload=payload["workload"],
+        )
     return {
         "result": run_result_to_dict(result),
         "seconds": time.perf_counter() - started,
+        "trace_path": trace_path,
     }
 
 
-def _payload(spec: CellSpec) -> Dict[str, Any]:
+def _payload(spec: CellSpec, trace_path: Optional[str] = None) -> Dict[str, Any]:
     return {
         "design": spec.design,
         "workload": spec.workload,
@@ -145,12 +167,25 @@ def _payload(spec: CellSpec) -> Dict[str, Any]:
         "params_dict": spec.params_dict,
         "n_transactions": spec.n_transactions,
         "n_threads": spec.n_threads,
+        "trace_path": trace_path,
     }
+
+
+def _trace_path(trace_dir: Optional[str], spec: CellSpec) -> Optional[str]:
+    """Deterministic artifact path for one cell's Chrome trace."""
+    if trace_dir is None:
+        return None
+    return os.path.join(trace_dir, "%s.trace.json" % spec.key())
 
 
 @dataclass
 class CellReport:
-    """Where one cell's result came from and what it cost."""
+    """Where one cell's result came from and what it cost.
+
+    ``trace_path`` is the cell's Chrome-trace artifact when trace capture
+    was requested and the file exists (a cached cell keeps its path only
+    if the artifact is still on disk), else None.
+    """
 
     design: str
     workload: str
@@ -158,6 +193,7 @@ class CellReport:
     cached: bool
     seconds: float
     key: str
+    trace_path: Optional[str] = None
 
 
 @dataclass
@@ -211,11 +247,20 @@ def run_cells(
     specs: List[CellSpec],
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    trace_dir: Optional[str] = None,
 ) -> Tuple[List[RunResult], GridReport]:
-    """Execute cells (cache-first, then pool) preserving input order."""
+    """Execute cells (cache-first, then pool) preserving input order.
+
+    ``trace_dir`` opts into trace capture: every simulated cell also
+    writes ``<trace_dir>/<key>.trace.json``.  Cached cells are not
+    re-simulated — their report records the artifact path only if a
+    previous traced run left it on disk.
+    """
     jobs = jobs or default_jobs()
     report = GridReport(jobs=jobs)
     started = time.perf_counter()
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
 
     results: List[Optional[RunResult]] = [None] * len(specs)
     reports: List[Optional[CellReport]] = [None] * len(specs)
@@ -225,14 +270,20 @@ def run_cells(
         cached = cache.get(key) if cache is not None else None
         if cached is not None:
             results[i] = cached
+            trace_path = _trace_path(trace_dir, spec)
+            if trace_path is not None and not os.path.exists(trace_path):
+                trace_path = None
             reports[i] = CellReport(
-                spec.design, spec.workload, spec.dataset.name, True, 0.0, key
+                spec.design, spec.workload, spec.dataset.name, True, 0.0, key,
+                trace_path=trace_path,
             )
         else:
             to_run.append(i)
 
     if to_run:
-        payloads = [_payload(specs[i]) for i in to_run]
+        payloads = [
+            _payload(specs[i], _trace_path(trace_dir, specs[i])) for i in to_run
+        ]
         if jobs <= 1 or len(to_run) == 1:
             outputs = [_run_cell_payload(p) for p in payloads]
         else:
@@ -250,6 +301,7 @@ def run_cells(
                 False,
                 output["seconds"],
                 key,
+                trace_path=output.get("trace_path"),
             )
             if cache is not None:
                 cache.put(key, result, key_fields=spec.key_fields())
@@ -268,12 +320,14 @@ def run_grid_parallel(
     params: Optional[WorkloadParams] = None,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    trace_dir: Optional[str] = None,
 ) -> GridOutcome:
     """Parallel, cached drop-in for :func:`repro.experiments.runner.run_grid`.
 
     Returns the same ``{workload: {design: RunResult}}`` mapping (wrapped
     in a :class:`GridOutcome` next to its report) with bit-identical
-    stats regardless of ``jobs``.
+    stats regardless of ``jobs``.  ``trace_dir`` opts into per-cell trace
+    artifacts (see :func:`run_cells`).
     """
     designs = list(designs)
     workloads = list(workloads)
@@ -282,7 +336,7 @@ def run_grid_parallel(
         for workload in workloads
         for design in designs
     ]
-    flat, report = run_cells(specs, jobs=jobs, cache=cache)
+    flat, report = run_cells(specs, jobs=jobs, cache=cache, trace_dir=trace_dir)
     results: Dict[str, Dict[str, RunResult]] = {}
     index = 0
     for workload in workloads:

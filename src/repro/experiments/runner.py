@@ -90,19 +90,44 @@ def run_design(
     params: Optional[WorkloadParams] = None,
     n_threads: Optional[int] = None,
     n_transactions: Optional[int] = None,
+    trace=None,
 ) -> RunResult:
-    """Run one (design, workload, dataset) cell."""
+    """Run one (design, workload, dataset) cell.
+
+    ``trace`` takes a :class:`repro.trace.TraceConfig`; tracing is inert
+    (test-enforced), so traced and traceless runs return identical
+    results.  Use :func:`run_design_traced` to get the bus back.
+    """
+    return run_design_traced(
+        design, workload_name, dataset, scale, config, params,
+        n_threads, n_transactions, trace,
+    )[0]
+
+
+def run_design_traced(
+    design: str,
+    workload_name: str,
+    dataset: DatasetSize = DatasetSize.SMALL,
+    scale: Optional[ExperimentScale] = None,
+    config: Optional[SystemConfig] = None,
+    params: Optional[WorkloadParams] = None,
+    n_threads: Optional[int] = None,
+    n_transactions: Optional[int] = None,
+    trace=None,
+):
+    """Like :func:`run_design` but returns ``(RunResult, bus_or_None)``."""
     scale = scale or ExperimentScale()
     config = config if config is not None else default_config()
     params = resolve_params(params, dataset)
     macro = workload_name in MACRO_NAMES
-    system = make_system(design, config)
+    system = make_system(design, config, trace=trace)
     workload = make_workload(workload_name, params)
-    return system.run(
+    result = system.run(
         workload,
         n_transactions or scale.transactions(macro, dataset),
         n_threads or scale.threads(macro),
     )
+    return result, system.tracer
 
 
 def run_grid(

@@ -65,6 +65,9 @@ class HardwareLogger(CacheListener):
         # Fault-injection plan (see repro.faultinject.plan), installed by
         # System.install_crash_plan on every persistence layer at once.
         self.crash_plan = None
+        # Trace bus (see repro.trace), installed by System.install_tracer.
+        # Observation-only: emissions never touch simulated state or time.
+        self.tracer = None
 
     def on_data_persisted(self, line_addr: int, now_ns: float) -> None:
         if self.data_persisted_hook is not None:
@@ -155,6 +158,16 @@ class HardwareLogger(CacheListener):
                 else "undo-persisted"
             )
             plan.fire(point, txid=entry.txid, addr=entry.addr)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "redo-persist" if entry.type is EntryType.REDO else "undo-persist",
+                "log",
+                now_ns,
+                txid=entry.txid,
+                addr=entry.addr,
+                dur_ns=result.schedule.stall_ns,
+                slots=entry.type.n_slots,
+            )
         self._entry_persisted(entry, result, now_ns)
         return result
 
@@ -169,6 +182,15 @@ class HardwareLogger(CacheListener):
         self.stats.add("commits_persisted")
         if plan is not None:
             plan.fire("commit-persisted", txid=record.txid)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "commit-persist",
+                "log",
+                now_ns,
+                txid=record.txid,
+                dur_ns=result.schedule.stall_ns,
+                timestamp=record.timestamp,
+            )
         return result
 
     def next_commit_timestamp(self) -> int:

@@ -84,6 +84,16 @@ class FwbLogger(HardwareLogger):
             redo=new_word,
             dirty_mask=mask,
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "log-create",
+                "log",
+                now_ns,
+                core=tx.tid,
+                txid=tx.txid,
+                addr=entry.addr,
+                entry="undo-redo",
+            )
         evicted = self.buffer.insert(entry, now_ns)
         now_ns, _accept = self._persist_many(evicted, now_ns)
         return now_ns
@@ -123,5 +133,13 @@ class FwbLogger(HardwareLogger):
                 # before the in-place line write that triggered the flush.
                 self.crash_plan.fire("wal-flush", addr=line_addr)
             self.stats.add("wal_forced_flushes", len(pending))
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "wal-flush",
+                    "log",
+                    now_ns,
+                    addr=line_addr,
+                    entries=len(pending),
+                )
             now_ns, _accept = self._persist_many(pending, now_ns)
         return now_ns

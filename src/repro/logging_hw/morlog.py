@@ -132,6 +132,16 @@ class MorLogLogger(HardwareLogger):
             # last logged redo (Figure 11(c)).
             line.set_state(word_index, LogState.ULOG)
             line.word_dirty_flags[word_index] = mask_delta if self.use_dirty_flags else 0xFF
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "word-state",
+                    "word-state",
+                    now_ns,
+                    core=tx.tid,
+                    txid=tx.txid,
+                    addr=line.base_addr + word_index * WORD_BYTES,
+                    **{"from": "URLOG", "to": "ULOG"}
+                )
             return now_ns
 
         # ULOG: keep accumulating in place.
@@ -170,6 +180,25 @@ class MorLogLogger(HardwareLogger):
         line.set_state(word_index, LogState.DIRTY)
         line.word_dirty_flags[word_index] = mask_delta
         self._tx_lines.setdefault((tx.tid, tx.txid), set()).add(line.base_addr)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "log-create",
+                "log",
+                now_ns,
+                core=tx.tid,
+                txid=tx.txid,
+                addr=addr,
+                entry="undo-redo",
+            )
+            self.tracer.emit(
+                "word-state",
+                "word-state",
+                now_ns,
+                core=tx.tid,
+                txid=tx.txid,
+                addr=addr,
+                **{"from": "CLEAN", "to": "DIRTY"}
+            )
         return now_ns
 
     # ------------------------------------------------------------------
@@ -193,6 +222,16 @@ class MorLogLogger(HardwareLogger):
         if line.state(index) is LogState.DIRTY:
             line.set_state(index, LogState.URLOG)
             line.word_dirty_flags[index] = 0
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "word-state",
+                    "word-state",
+                    now_ns,
+                    core=entry.tid,
+                    txid=entry.txid,
+                    addr=entry.addr,
+                    **{"from": "DIRTY", "to": "URLOG"}
+                )
 
     def _emit_redo(self, tid: int, txid: int, addr: int, value: int, mask: int, now_ns: float) -> float:
         if self.crash_plan is not None:
@@ -200,6 +239,16 @@ class MorLogLogger(HardwareLogger):
             # log entry here — the boundary the delay-persistence ulog
             # accounting depends on.
             self.crash_plan.fire("redo-drain", txid=txid, addr=addr)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "log-create",
+                "log",
+                now_ns,
+                core=tid,
+                txid=txid,
+                addr=addr,
+                entry="redo",
+            )
         entry = LogEntry(
             type=EntryType.REDO,
             tid=tid,
@@ -259,6 +308,14 @@ class MorLogLogger(HardwareLogger):
         pending = self.ur_buffer.pop_addr_range(line_addr, line_bytes)
         if pending:
             self.stats.add("wal_forced_flushes", len(pending))
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "wal-flush",
+                    "log",
+                    now_ns,
+                    addr=line_addr,
+                    entries=len(pending),
+                )
             now_ns = self._persist_ur_entries(pending, now_ns)
         if not self._redo_enabled:
             return now_ns
@@ -306,6 +363,15 @@ class MorLogLogger(HardwareLogger):
         keys = self._nt_keys.get((tx.tid, tx.txid))
         if keys and self.crash_plan is not None:
             self.crash_plan.fire("nt-flush", txid=tx.txid)
+        if keys and self.tracer is not None:
+            self.tracer.emit(
+                "nt-flush",
+                "log",
+                now_ns,
+                core=tx.tid,
+                txid=tx.txid,
+                entries=len(keys),
+            )
         for key in self._nt_keys.pop((tx.tid, tx.txid), ()):
             entry = self.redo_buffer.pop_key(key)
             if entry is not None:

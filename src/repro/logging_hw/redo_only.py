@@ -116,6 +116,16 @@ class RedoOnlyLogger(HardwareLogger):
             redo=new_word,
             dirty_mask=mask,
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "log-create",
+                "log",
+                now_ns,
+                core=tx.tid,
+                txid=tx.txid,
+                addr=entry.addr,
+                entry="redo",
+            )
         evicted = self.buffer.insert(entry, now_ns)
         now_ns, _accept = self._persist_many(evicted, now_ns)
         key = (tx.tid, tx.txid)

@@ -80,6 +80,8 @@ class LogRegion:
         self.append_observer: Optional[Callable] = None
         # Fault-injection plan (installed by System.install_crash_plan).
         self.crash_plan = None
+        # Trace bus (installed by System.install_tracer); observation only.
+        self.tracer = None
         self._persist_control(0.0)
 
     # ------------------------------------------------------------------
@@ -134,6 +136,8 @@ class LogRegion:
             self.tail = CONTROL_SLOTS
             self.parity ^= 1
             self.stats.add("wraps")
+            if self.tracer is not None:
+                self.tracer.emit("log-wrap", "log", now_ns)
 
         if entry_type in (EntryType.UNDO_REDO, EntryType.UNDO) and undo is None:
             undo = LogDataWord(record.undo)
@@ -161,6 +165,17 @@ class LogRegion:
         self.stats.add("entries_appended")
         if self.append_observer is not None:
             self.append_observer(record)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "log-append",
+                "log",
+                now_ns,
+                txid=record.txid,
+                addr=self.slot_addr(offset),
+                entry=entry_type.name.lower(),
+                slots=n_slots,
+                seq=seq,
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -197,6 +212,10 @@ class LogRegion:
                 self.crash_plan.fire("log-truncate", head=self.head)
             self._persist_control(now_ns)
             self.stats.add("entries_truncated", freed)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "log-truncate", "log", now_ns, freed=freed, head=self.head
+                )
         return freed
 
     # ------------------------------------------------------------------

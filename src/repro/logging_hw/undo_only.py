@@ -76,6 +76,16 @@ class UndoOnlyLogger(HardwareLogger):
             redo=0,
             dirty_mask=mask,
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "log-create",
+                "log",
+                now_ns,
+                core=tx.tid,
+                txid=tx.txid,
+                addr=entry.addr,
+                entry="undo",
+            )
         evicted = self.buffer.insert(entry, now_ns)
         now_ns, _accept = self._persist_many(evicted, now_ns)
         self._tx_lines.setdefault((tx.tid, tx.txid), set()).add(line.base_addr)
@@ -124,5 +134,13 @@ class UndoOnlyLogger(HardwareLogger):
         pending = self.buffer.pop_addr_range(line_addr, self.config.caches.line_bytes)
         if pending:
             self.stats.add("wal_forced_flushes", len(pending))
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "wal-flush",
+                    "log",
+                    now_ns,
+                    addr=line_addr,
+                    entries=len(pending),
+                )
             now_ns, _accept = self._persist_many(pending, now_ns)
         return now_ns

@@ -91,6 +91,29 @@ class NvmModule:
         # cells, so crash schedules can cut power at every write-ahead
         # boundary regardless of which layer issued the write.
         self.crash_plan = None
+        # Trace bus (installed via set_tracer); observation only.
+        self.tracer = None
+        # Simulated timestamp of the in-flight log write, so the SLDE
+        # decision hook (which fires mid-encode, with no clock in scope)
+        # can stamp its events.
+        self._trace_now = 0.0
+
+    def set_tracer(self, bus) -> None:
+        """Attach a trace bus; also taps the SLDE size comparator."""
+        self.tracer = bus
+        if isinstance(self.log_codec, SldeCodec):
+            self.log_codec.decision_hook = self._emit_slde_decision
+
+    def _emit_slde_decision(
+        self, word, chosen, chosen_bits, rejected, rejected_bits, silent
+    ) -> None:
+        if self.tracer is None:
+            return
+        args = {"chosen": chosen, "chosen_bits": chosen_bits, "silent": silent}
+        if rejected is not None:
+            args["rejected"] = rejected
+            args["rejected_bits"] = rejected_bits
+        self.tracer.emit("slde-decision", "codec", self._trace_now, **args)
 
     @staticmethod
     def _cipher(addr: int, value: int, epoch: int = 0) -> int:
@@ -125,6 +148,19 @@ class NvmModule:
             self.stats.add("%s_writes" % kind.value)
             self.stats.add("%s_bits" % kind.value, cost.bits_written)
             self.stats.add("%s_energy_pj" % kind.value, cost.energy_pj)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "nvm-write",
+                "nvm",
+                now_ns,
+                addr=addr,
+                dur_ns=max(schedule.finish_ns - now_ns, 0.0),
+                kind=kind.value,
+                bits=cost.bits_written,
+                energy_pj=cost.energy_pj,
+                silent=cost.silent,
+                stall_ns=schedule.stall_ns,
+            )
         return WriteResult(schedule, cost, tuple(encoded))
 
     def write_data_line(
@@ -240,6 +276,8 @@ class NvmModule:
         kind: WriteKind = WriteKind.LOG,
     ) -> WriteResult:
         """Write one log entry (or commit record) to the log region."""
+        if self.tracer is not None:
+            self._trace_now = now_ns
         encoded, logicals = self.encode_log_words(meta_words, undo, redo)
         return self._write_words(addr, encoded, logicals, now_ns, kind)
 

@@ -1,0 +1,120 @@
+"""Typed trace events and their schema.
+
+Every component of the simulator can publish :class:`TraceEvent` records
+to the trace bus (:mod:`repro.trace.bus`).  The taxonomy is fixed here so
+exports stay machine-checkable: each event name maps to a category and a
+set of *required* argument keys (extra arguments are allowed, reserved
+keys are not).  The schema doubles as documentation — see
+``docs/tracing.md`` — and as the validator the CI trace-smoke job runs
+against exported files.
+
+Timestamps are *simulated* nanoseconds (the same clock domain as
+``System.core_time_ns``), not host wall time; host time belongs to the
+profiler (:mod:`repro.trace.profiler`).
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+SCHEMA_VERSION = 1
+
+#: Event categories, used for filtering (``TraceConfig.categories``) and
+#: as the Chrome ``cat`` field.
+CATEGORIES: Tuple[str, ...] = (
+    "tx",          # transaction lifecycle
+    "word-state",  # per-word L1 log-state transitions (Figure 8)
+    "log",         # log-entry create / persist / truncate / append
+    "codec",       # SLDE chosen-vs-rejected encoding decisions
+    "nvm",         # NVM module write breakdowns
+    "fwb",         # force-write-back scans
+    "recovery",    # crash-recovery runs
+)
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """Schema row: where an event belongs and what it must carry."""
+
+    category: str
+    required_args: Tuple[str, ...] = ()
+
+
+#: The event taxonomy.  Adding an event means adding a row here; the
+#: round-trip property test fuzzes every row.
+EVENT_SCHEMA: Dict[str, EventSpec] = {
+    # -- transaction lifecycle -----------------------------------------
+    "tx-begin": EventSpec("tx"),
+    "tx-commit": EventSpec("tx", ("n_stores",)),
+    "tx-crash": EventSpec("tx"),
+    # -- per-word log-state machine (MorLog, Figure 8) ------------------
+    "word-state": EventSpec("word-state", ("from", "to")),
+    # -- logging --------------------------------------------------------
+    "log-create": EventSpec("log", ("entry",)),
+    "undo-persist": EventSpec("log", ("slots",)),
+    "redo-persist": EventSpec("log", ("slots",)),
+    "commit-persist": EventSpec("log", ("timestamp",)),
+    "wal-flush": EventSpec("log", ("entries",)),
+    "nt-flush": EventSpec("log", ("entries",)),
+    "log-append": EventSpec("log", ("entry", "slots", "seq")),
+    "log-truncate": EventSpec("log", ("freed",)),
+    "log-wrap": EventSpec("log"),
+    # -- encoding pipeline ---------------------------------------------
+    "slde-decision": EventSpec("codec", ("chosen", "chosen_bits")),
+    # -- NVM module -----------------------------------------------------
+    "nvm-write": EventSpec("nvm", ("kind", "bits", "energy_pj")),
+    # -- background machinery ------------------------------------------
+    "fwb-scan": EventSpec("fwb", ("index",)),
+    # -- recovery -------------------------------------------------------
+    "recovery": EventSpec(
+        "recovery", ("committed", "redone_words", "undone_words")
+    ),
+}
+
+#: Keys the exporter owns inside the Chrome ``args`` object; event
+#: payloads must not collide with them (enforced by validate_event).
+RESERVED_ARG_KEYS = ("txid", "addr", "ts_ns", "dur_ns")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event on the bus.
+
+    ``core`` is the hardware-thread ID (or None for uncored machinery
+    like truncation), ``txid``/``addr`` are optional correlation keys,
+    ``args`` carries the event-specific payload from the schema.
+    """
+
+    name: str
+    category: str
+    ts_ns: float
+    core: Optional[int] = None
+    txid: Optional[int] = None
+    addr: Optional[int] = None
+    dur_ns: float = 0.0
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+
+def validate_event(event: TraceEvent) -> None:
+    """Check one event against the taxonomy; raises ValueError."""
+    spec = EVENT_SCHEMA.get(event.name)
+    if spec is None:
+        raise ValueError("unknown event name %r" % event.name)
+    if event.category != spec.category:
+        raise ValueError(
+            "event %r belongs to category %r, not %r"
+            % (event.name, spec.category, event.category)
+        )
+    if event.ts_ns < 0:
+        raise ValueError("event %r has negative timestamp" % event.name)
+    if event.dur_ns < 0:
+        raise ValueError("event %r has negative duration" % event.name)
+    for key in spec.required_args:
+        if key not in event.args:
+            raise ValueError(
+                "event %r is missing required arg %r" % (event.name, key)
+            )
+    for key in RESERVED_ARG_KEYS:
+        if key in event.args:
+            raise ValueError(
+                "event %r uses reserved arg key %r" % (event.name, key)
+            )

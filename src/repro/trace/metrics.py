@@ -1,0 +1,70 @@
+"""Stable metrics snapshots: counters + histograms as one plain dict.
+
+``metrics_snapshot`` flattens a run's outcome — the StatGroup counters,
+derived headline metrics, the trace-bus accounting and (when a trace is
+present) a transaction-duration histogram — into a single JSON-safe dict
+with *canonical key order*, so snapshots diff cleanly across runs and
+can be hashed, cached, or asserted on by the benchmark harness.
+"""
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.stats import Histogram
+from repro.core.system import RunResult
+from repro.trace.bus import TraceBus
+from repro.trace.events import SCHEMA_VERSION
+from repro.trace.timeline import assemble_timelines, timeline_summary
+
+#: Power-of-two microsecond buckets for transaction durations.
+_DURATION_BUCKETS: Tuple[Tuple[int, Optional[int], str], ...] = tuple(
+    [(0, 0, "0us")]
+    + [
+        (1 << i, (1 << (i + 1)) - 1, "%d-%dus" % (1 << i, (1 << (i + 1)) - 1))
+        for i in range(10)
+    ]
+    + [(1 << 10, None, ">=1024us")]
+)
+
+
+def duration_histogram(durations_ns: List[float]) -> Histogram:
+    """Histogram transaction durations (simulated ns) into us buckets."""
+    histogram = Histogram(buckets=_DURATION_BUCKETS)
+    for duration in durations_ns:
+        histogram.observe(int(duration // 1000))
+    return histogram
+
+
+def metrics_snapshot(
+    result: RunResult,
+    bus: Optional[TraceBus] = None,
+    design: str = "",
+    workload: str = "",
+) -> Dict[str, Any]:
+    """One stable dict describing a run (counters, derived, trace)."""
+    snapshot: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "design": design,
+        "workload": workload,
+        "transactions": result.transactions,
+        "elapsed_ns": result.elapsed_ns,
+        "counters": dict(sorted(result.stats.items())),
+        "derived": {
+            "log_bits": result.log_bits,
+            "nvmm_write_energy_pj": result.nvmm_write_energy_pj,
+            "nvmm_writes": result.nvmm_writes,
+            "throughput_tx_per_s": result.throughput_tx_per_s,
+        },
+    }
+    if bus is not None:
+        timelines = assemble_timelines(bus.events)
+        durations = [
+            t.duration_ns for t in timelines.values() if t.duration_ns is not None
+        ]
+        snapshot["trace"] = {
+            "bus": bus.summary(),
+            "timelines": timeline_summary(timelines),
+            "histograms": {
+                "tx_duration_us": dict(duration_histogram(durations).counts())
+            },
+        }
+    return snapshot

@@ -1,0 +1,86 @@
+"""Per-transaction timeline assembly over a captured event stream.
+
+A timeline groups every event correlated to one transaction — begin,
+word-state transitions, log-entry persists, the commit — in emission
+order, answering "what happened to transaction N and when".  The CLI's
+``repro trace`` summary and the examples build on this; the export module
+writes the raw stream, so timelines can also be reassembled offline from
+a parsed trace file.
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.trace.events import TraceEvent
+
+
+@dataclass
+class TxTimeline:
+    """Everything the trace saw about one transaction."""
+
+    txid: int
+    core: Optional[int] = None
+    begin_ns: Optional[float] = None
+    commit_ns: Optional[float] = None
+    crashed: bool = False
+    events: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def duration_ns(self) -> Optional[float]:
+        if self.begin_ns is None or self.commit_ns is None:
+            return None
+        return self.commit_ns - self.begin_ns
+
+    def count(self, name: str) -> int:
+        return sum(1 for event in self.events if event.name == name)
+
+    def first(self, name: str) -> Optional[TraceEvent]:
+        for event in self.events:
+            if event.name == name:
+                return event
+        return None
+
+
+def assemble_timelines(events: Iterable[TraceEvent]) -> "OrderedDict[int, TxTimeline]":
+    """Group events by transaction ID, preserving emission order.
+
+    Events without a ``txid`` (NVM writes, FWB scans, truncation) are
+    machine-level and excluded; use the raw stream for those.
+    """
+    timelines: "OrderedDict[int, TxTimeline]" = OrderedDict()
+    for event in events:
+        if event.txid is None:
+            continue
+        timeline = timelines.get(event.txid)
+        if timeline is None:
+            timeline = timelines[event.txid] = TxTimeline(txid=event.txid)
+        timeline.events.append(event)
+        if event.core is not None and timeline.core is None:
+            timeline.core = event.core
+        if event.name == "tx-begin":
+            timeline.begin_ns = event.ts_ns
+        elif event.name == "tx-commit":
+            # The complete event spans begin -> commit.
+            timeline.commit_ns = event.ts_ns + event.dur_ns
+        elif event.name == "tx-crash":
+            timeline.crashed = True
+    return timelines
+
+
+def timeline_summary(timelines: Dict[int, TxTimeline]) -> Dict[str, float]:
+    """Stable aggregate over assembled timelines (sorted keys)."""
+    durations = [
+        t.duration_ns for t in timelines.values() if t.duration_ns is not None
+    ]
+    committed = sum(1 for t in timelines.values() if t.commit_ns is not None)
+    summary = {
+        "transactions": float(len(timelines)),
+        "committed": float(committed),
+        "crashed": float(sum(1 for t in timelines.values() if t.crashed)),
+    }
+    if durations:
+        summary["mean_duration_ns"] = sum(durations) / len(durations)
+        summary["max_duration_ns"] = max(durations)
+        summary["min_duration_ns"] = min(durations)
+    return dict(sorted(summary.items()))

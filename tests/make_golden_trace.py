@@ -1,0 +1,33 @@
+"""Regenerate tests/golden/sps_trace.json.
+
+Run after an *intended* change to the event taxonomy, emission sites, or
+Chrome export format:
+
+    PYTHONPATH=src python tests/make_golden_trace.py
+
+Review the diff before committing — the golden file is the contract.
+"""
+
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, _HERE)
+sys.path.insert(0, os.path.join(_HERE, os.pardir))
+sys.path.insert(0, os.path.join(_HERE, os.pardir, "src"))
+
+from test_trace_property import GOLDEN_PATH, make_golden_document
+
+
+def main() -> None:
+    document = json.loads(json.dumps(make_golden_document(), sort_keys=True))
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(document, fh, sort_keys=True, indent=1)
+        fh.write("\n")
+    print("wrote %s (%d events)" % (GOLDEN_PATH, len(document["traceEvents"])))
+
+
+if __name__ == "__main__":
+    main()

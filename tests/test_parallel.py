@@ -310,6 +310,68 @@ class TestEngineShape:
         assert parallel == serial
 
 
+class TestStatsKeyOrder:
+    """Reports must not depend on which worker's stats arrive first.
+
+    ``StatGroup.merge`` over disjoint key sets leaves insertion order at
+    the mercy of arrival order; ``as_dict`` canonicalizes to sorted keys
+    so parallel and sequential runs serialize identically.
+    """
+
+    def test_merge_order_does_not_leak_into_as_dict(self):
+        from repro.common.stats import StatGroup
+
+        ab = StatGroup("m")
+        ab.add("alpha", 1.0)
+        ab.add("beta", 2.0)
+        ba = StatGroup("m")
+        ba.add("beta", 2.0)
+        ba.add("alpha", 1.0)
+
+        first = StatGroup("total")
+        first.merge(ab)
+        first.merge(ba)
+        second = StatGroup("total")
+        second.merge(ba)
+        second.merge(ab)
+
+        assert list(first.as_dict()) == list(second.as_dict())
+        assert first.as_dict() == second.as_dict()
+
+    def test_disjoint_merge_is_canonical(self):
+        from repro.common.stats import StatGroup
+
+        left = StatGroup("w0")
+        left.add("zeta", 3.0)
+        right = StatGroup("w1")
+        right.add("alpha", 1.0)
+
+        one = StatGroup("total")
+        one.merge(left)
+        one.merge(right)
+        other = StatGroup("total")
+        other.merge(right)
+        other.merge(left)
+
+        assert list(one.as_dict()) == ["alpha", "zeta"]
+        assert list(one.as_dict()) == list(other.as_dict())
+
+    def test_jobs1_and_jobs4_serialize_identically(self):
+        """Regression: key order in reports is identical across jobs."""
+        grid1 = run_grid_parallel(
+            DESIGNS, WORKLOADS, DatasetSize.SMALL, TINY, jobs=1
+        )
+        grid4 = run_grid_parallel(
+            DESIGNS, WORKLOADS, DatasetSize.SMALL, TINY, jobs=4
+        )
+        for workload in grid1.results:
+            for design in grid1.results[workload]:
+                s1 = grid1.results[workload][design].stats
+                s4 = grid4.results[workload][design].stats
+                assert list(s1) == list(s4), (workload, design)
+                assert canonical_json(s1) == canonical_json(s4)
+
+
 class TestBenchEmitAtomic:
     def test_emit_writes_whole_file_atomically(self, tmp_path, monkeypatch, capsys):
         import benchmarks.bench_util as bench_util

@@ -1,0 +1,146 @@
+"""Tracing is inert: observation must never perturb the simulation.
+
+The trace bus only records — it must not change a single counter, clock,
+cache decision, recovery outcome or fault-sweep verdict.  These tests run
+the same seeded scenarios with tracing off and on and require bit-exact
+equality, which is what lets the grid engine reuse cached (traceless)
+results for traced requests.
+"""
+
+import pytest
+
+import repro.faultinject.sweep as sweep_mod
+from repro.core.designs import make_system
+from repro.experiments.parallel import resolve_cell, run_cells
+from repro.experiments.runner import ExperimentScale
+from repro.faultinject.sweep import SweepOptions, run_sweep
+from repro.trace import TraceConfig
+from repro.workloads.base import DatasetSize, WorkloadParams, make_workload
+from tests.conftest import tiny_config
+from tests.test_crash_recovery import run_until_crash
+
+DESIGNS = ("MorLog-SLDE", "MorLog-DP", "FWB-CRADE", "Undo-CRADE", "Redo-CRADE")
+
+
+def run_once(design, workload_name, trace=None, n_tx=40, threads=2):
+    system = make_system(design, tiny_config(), trace=trace)
+    workload = make_workload(
+        workload_name, WorkloadParams(initial_items=48, key_space=96, seed=11)
+    )
+    result = system.run(workload, n_tx, threads)
+    return system, result
+
+
+class TestRunInertness:
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_traced_run_bit_identical(self, design):
+        _plain_sys, plain = run_once(design, "hash")
+        traced_sys, traced = run_once(
+            design, "hash", trace=TraceConfig(enabled=True)
+        )
+        assert traced_sys.tracer is not None and len(traced_sys.tracer) > 0
+        assert traced.stats == plain.stats
+        assert traced.elapsed_ns == plain.elapsed_ns
+        assert traced.transactions == plain.transactions
+
+    def test_inert_even_when_ring_overflows(self):
+        _plain_sys, plain = run_once("MorLog-SLDE", "sps")
+        traced_sys, traced = run_once(
+            "MorLog-SLDE", "sps", trace=TraceConfig(enabled=True, capacity=16)
+        )
+        assert traced_sys.tracer.dropped > 0
+        assert traced.stats == plain.stats
+        assert traced.elapsed_ns == plain.elapsed_ns
+
+    def test_inert_with_category_filter(self):
+        _plain_sys, plain = run_once("MorLog-SLDE", "queue")
+        _traced_sys, traced = run_once(
+            "MorLog-SLDE", "queue",
+            trace=TraceConfig(enabled=True, categories=frozenset({"tx"})),
+        )
+        assert traced.stats == plain.stats
+        assert traced.elapsed_ns == plain.elapsed_ns
+
+    def test_persistent_image_identical(self):
+        plain_sys, _plain = run_once("MorLog-SLDE", "hash")
+        traced_sys, _traced = run_once(
+            "MorLog-SLDE", "hash", trace=TraceConfig(enabled=True)
+        )
+        plain_words = {
+            addr: s.logical
+            for addr, s in plain_sys.controller.nvm.array.snapshot().items()
+        }
+        traced_words = {
+            addr: s.logical
+            for addr, s in traced_sys.controller.nvm.array.snapshot().items()
+        }
+        assert plain_words == traced_words
+
+
+class TestRecoveryInertness:
+    @pytest.mark.parametrize("crash_at", (7, 90))
+    def test_crash_recovery_outcome_unchanged(self, crash_at, monkeypatch):
+        plain_sys, _tap, committed_plain = run_until_crash(
+            "MorLog-SLDE", "hash", seed=5, crash_at=crash_at
+        )
+        plain_state = plain_sys.recover(verify_decode=True)
+
+        # Same scenario with every layer publishing to a trace bus.
+        original = make_system
+
+        def traced_make_system(design, config=None, trace=None):
+            return original(design, config, trace=TraceConfig(enabled=True))
+
+        import tests.test_crash_recovery as crash_mod
+
+        monkeypatch.setattr(crash_mod, "make_system", traced_make_system)
+        traced_sys, _tap, committed_traced = run_until_crash(
+            "MorLog-SLDE", "hash", seed=5, crash_at=crash_at
+        )
+        traced_state = traced_sys.recover(verify_decode=True)
+
+        assert traced_sys.tracer is not None
+        assert committed_traced == committed_plain
+        assert traced_state.committed_txids == plain_state.committed_txids
+        assert traced_state.persisted_txids == plain_state.persisted_txids
+        assert traced_state.redone_words == plain_state.redone_words
+        assert traced_state.undone_words == plain_state.undone_words
+
+
+class TestSweepInertness:
+    def test_fault_sweep_verdicts_unchanged(self, monkeypatch):
+        options = SweepOptions(workload="hash", transactions=4, threads=2,
+                               seed=3, budget=12)
+        plain = run_sweep("morlog", options)
+
+        original = sweep_mod.make_system
+
+        def traced_make_system(design, config=None, trace=None):
+            return original(design, config, trace=TraceConfig(enabled=True))
+
+        monkeypatch.setattr(sweep_mod, "make_system", traced_make_system)
+        traced = run_sweep("morlog", options)
+
+        assert traced.ok == plain.ok
+        assert traced.total_events == plain.total_events
+        assert traced.checked_events == plain.checked_events
+        assert traced.per_point == plain.per_point
+
+
+class TestGridInertness:
+    def test_trace_dir_cell_matches_traceless(self, tmp_path):
+        scale = ExperimentScale(micro_transactions=12, micro_threads=2)
+        spec = resolve_cell("MorLog-SLDE", "hash", DatasetSize.SMALL, scale)
+        plain, _report = run_cells([spec], jobs=1)
+        traced, report = run_cells(
+            [spec], jobs=1, trace_dir=str(tmp_path / "traces")
+        )
+        assert plain[0].stats == traced[0].stats
+        assert plain[0].elapsed_ns == traced[0].elapsed_ns
+        path = report.cells[0].trace_path
+        assert path is not None
+        import json
+
+        from repro.trace import validate_chrome_trace
+
+        assert validate_chrome_trace(json.load(open(path))) > 0

@@ -1,0 +1,146 @@
+"""Property-based and golden-file tests for trace export.
+
+The Hypothesis property: any schema-conforming event stream survives
+emit -> Chrome export -> JSON serialization -> parse bit-exactly (the
+exporter keeps exact ``ts_ns``/``dur_ns`` inside ``args`` precisely so
+the lossy microsecond conversion never leaks back in).  The golden file
+pins the full exported document of a tiny seeded SPS run, so any
+unintended change to the event taxonomy, emission sites or export format
+shows up as a readable diff.
+
+Regenerate the golden file after an *intended* change with:
+
+    PYTHONPATH=src python tests/make_golden_trace.py
+"""
+
+import json
+import os
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.trace import (
+    EVENT_SCHEMA,
+    TraceBus,
+    TraceConfig,
+    TraceEvent,
+    chrome_document,
+    parse_chrome_trace,
+    validate_chrome_trace,
+    validate_event,
+)
+from repro.trace.events import RESERVED_ARG_KEYS
+from repro.trace.export import MACHINE_LANE
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "sps_trace.json")
+
+# JSON-exact scalars for event args: ints round-trip, finite floats
+# round-trip via repr, short ascii strings keep the documents readable.
+_arg_values = st.one_of(
+    st.integers(min_value=0, max_value=2**48),
+    st.floats(min_value=0.0, max_value=1e12, allow_nan=False,
+              allow_infinity=False),
+    st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=12),
+    st.booleans(),
+)
+
+_extra_keys = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1, max_size=8,
+).filter(lambda k: k not in RESERVED_ARG_KEYS)
+
+
+@st.composite
+def trace_events(draw):
+    name = draw(st.sampled_from(sorted(EVENT_SCHEMA)))
+    spec = EVENT_SCHEMA[name]
+    args = {key: draw(_arg_values) for key in spec.required_args}
+    extra = draw(st.dictionaries(_extra_keys, _arg_values, max_size=3))
+    for key, value in extra.items():
+        args.setdefault(key, value)
+    return TraceEvent(
+        name=name,
+        category=spec.category,
+        ts_ns=draw(st.floats(min_value=0.0, max_value=1e15, allow_nan=False,
+                             allow_infinity=False)),
+        core=draw(st.one_of(st.none(),
+                            st.integers(min_value=0,
+                                        max_value=MACHINE_LANE - 1))),
+        txid=draw(st.one_of(st.none(), st.integers(min_value=0,
+                                                   max_value=2**32))),
+        addr=draw(st.one_of(st.none(), st.integers(min_value=0,
+                                                   max_value=2**48))),
+        dur_ns=draw(st.floats(min_value=0.0, max_value=1e12, allow_nan=False,
+                              allow_infinity=False)),
+        args=args,
+    )
+
+
+class TestExportProperties:
+    @given(events=st.lists(trace_events(), max_size=40))
+    @settings(max_examples=150, deadline=None)
+    def test_emit_export_parse_round_trip(self, events):
+        doc = chrome_document(events, design="prop", workload="prop")
+        serialized = json.loads(json.dumps(doc, sort_keys=True))
+        assert parse_chrome_trace(serialized) == events
+
+    @given(events=st.lists(trace_events(), max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_exported_documents_always_validate(self, events):
+        doc = chrome_document(events, design="prop", workload="prop")
+        assert validate_chrome_trace(doc) == len(events)
+
+    @given(event=trace_events())
+    @settings(max_examples=150, deadline=None)
+    def test_generated_events_are_schema_valid(self, event):
+        validate_event(event)
+
+    @given(events=st.lists(trace_events(), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_bus_replay_preserves_stream(self, events):
+        """Re-emitting a parsed stream through a bus is the identity."""
+        bus = TraceBus(TraceConfig(enabled=True, capacity=0))
+        for event in events:
+            bus.emit(
+                event.name, event.category, event.ts_ns,
+                core=event.core, txid=event.txid, addr=event.addr,
+                dur_ns=event.dur_ns, **dict(event.args)
+            )
+        assert list(bus.events) == events
+
+
+def make_golden_document():
+    """The tiny, fully-seeded SPS run the golden file pins."""
+    from repro.core.designs import make_system
+    from repro.workloads.base import WorkloadParams, make_workload
+    from tests.conftest import tiny_config
+
+    system = make_system(
+        "MorLog-SLDE", tiny_config(), trace=TraceConfig(enabled=True)
+    )
+    workload = make_workload(
+        "sps", WorkloadParams(initial_items=16, key_space=32, seed=42)
+    )
+    system.run(workload, 8, 2)
+    return chrome_document(
+        system.tracer.events, design="MorLog-SLDE", workload="sps"
+    )
+
+
+class TestGoldenTrace:
+    def test_tiny_sps_trace_matches_golden(self):
+        with open(GOLDEN_PATH) as fh:
+            golden = json.load(fh)
+        current = json.loads(json.dumps(make_golden_document(), sort_keys=True))
+        assert current == golden, (
+            "trace output changed; if intended, regenerate with "
+            "PYTHONPATH=src python tests/make_golden_trace.py"
+        )
+
+    def test_golden_file_validates_against_schema(self):
+        with open(GOLDEN_PATH) as fh:
+            golden = json.load(fh)
+        assert validate_chrome_trace(golden) > 0
