@@ -9,7 +9,7 @@ old levels, and charges latency/energy for the programmed cells only.
 """
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.common.bitops import WORD_BITS, mask_word
 from repro.encoding.expansion import ExpansionPolicy
@@ -73,8 +73,31 @@ class WordCodec:
 
     name = "abstract"
 
+    #: True when :meth:`encode` ignores ``old_word`` entirely (FPC, BDI,
+    #: CRADE, raw).  Memoization uses this to drop the old word from its
+    #: cache keys, which multiplies the hit rate; codecs whose output
+    #: depends on the old contents (Flip-N-Write) must leave it False.
+    context_free = False
+
     def encode(self, word: int, old_word: Optional[int] = None) -> EncodedWord:
         raise NotImplementedError
+
+    def encode_line(
+        self,
+        words: Sequence[int],
+        old_words: Optional[Sequence[int]] = None,
+    ) -> List[EncodedWord]:
+        """Encode the words of one cache line in a single call.
+
+        The NVM module hands a 64-byte line over as one batch instead of
+        eight separate calls; memoizing codecs override this to share one
+        cache probe per distinct word.  ``old_words``, when given, must be
+        parallel to ``words``.
+        """
+        encode = self.encode
+        if old_words is None or self.context_free:
+            return [encode(word) for word in words]
+        return [encode(word, old) for word, old in zip(words, old_words)]
 
     def decode(self, encoded: EncodedWord, old_word: Optional[int] = None) -> int:
         raise NotImplementedError
@@ -84,6 +107,7 @@ class RawCodec(WordCodec):
     """No compression: 64 payload bits, raw 3-bits-per-cell mapping."""
 
     name = "raw"
+    context_free = True
 
     def encode(self, word: int, old_word: Optional[int] = None) -> EncodedWord:
         return EncodedWord(

@@ -32,6 +32,7 @@ from typing import Optional
 from repro.common.bitops import WORD_BITS, mask_word
 from repro.encoding.base import EncodedWord, WordCodec
 from repro.encoding.expansion import policy_for_size
+from repro.encoding.memo import MemoConfig
 
 BDI_TAG_BITS = 4
 
@@ -122,12 +123,26 @@ class BdiCodec(WordCodec):
     """BDI + expansion coding, as an alternative to CRADE in SLDE."""
 
     name = "bdi"
+    context_free = True
 
-    def __init__(self, expansion_enabled: bool = True) -> None:
+    def __init__(
+        self,
+        expansion_enabled: bool = True,
+        memo: Optional[MemoConfig] = None,
+    ) -> None:
         self._expansion_enabled = expansion_enabled
+        self._memo = memo.make_memo() if memo is not None else None
 
     def encode(self, word: int, old_word: Optional[int] = None) -> EncodedWord:
-        return _bdi_encode_cached(mask_word(word), self._expansion_enabled)
+        word = mask_word(word)
+        memo = self._memo
+        if memo is None:
+            return _bdi_encode_cached(word, self._expansion_enabled)
+        encoded = memo.get(word)
+        if encoded is None:
+            encoded = _bdi_encode_cached(word, self._expansion_enabled)
+            memo.put(word, encoded)
+        return encoded
 
     def decode(self, encoded: EncodedWord, old_word: Optional[int] = None) -> int:
         if encoded.method != self.name:

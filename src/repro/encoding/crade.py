@@ -14,6 +14,7 @@ from repro.common.bitops import mask_word
 from repro.encoding.base import EncodedWord, WordCodec
 from repro.encoding.fpc import FPC_TAG_BITS, fpc_compress, fpc_decompress
 from repro.encoding.expansion import policy_for_size
+from repro.encoding.memo import MemoConfig
 
 
 @lru_cache(maxsize=1 << 16)
@@ -37,12 +38,26 @@ class CradeCodec(WordCodec):
     """FPC + compression-ratio-aware expansion coding."""
 
     name = "crade"
+    context_free = True
 
-    def __init__(self, expansion_enabled: bool = True) -> None:
+    def __init__(
+        self,
+        expansion_enabled: bool = True,
+        memo: Optional[MemoConfig] = None,
+    ) -> None:
         self._expansion_enabled = expansion_enabled
+        self._memo = memo.make_memo() if memo is not None else None
 
     def encode(self, word: int, old_word: Optional[int] = None) -> EncodedWord:
-        return _crade_encode_cached(mask_word(word), self._expansion_enabled)
+        word = mask_word(word)
+        memo = self._memo
+        if memo is None:
+            return _crade_encode_cached(word, self._expansion_enabled)
+        encoded = memo.get(word)
+        if encoded is None:
+            encoded = _crade_encode_cached(word, self._expansion_enabled)
+            memo.put(word, encoded)
+        return encoded
 
     def decode(self, encoded: EncodedWord, old_word: Optional[int] = None) -> int:
         if encoded.method != self.name:

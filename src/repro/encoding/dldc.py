@@ -30,6 +30,13 @@ from repro.common.bitops import (
 )
 from repro.encoding.base import EncodedWord, WordCodec
 from repro.encoding.expansion import policy_for_size
+from repro.encoding.memo import (
+    BYTE_FITS_SE2,
+    BYTE_FITS_SE4,
+    BYTE_LOW_NIBBLE_ZERO,
+    DLDC_PATTERN_BITS,
+    MemoConfig,
+)
 
 DLDC_TAG_BITS = 3
 # 1-bit header distinguishing pattern-compressed from raw dirty bytes; the
@@ -55,52 +62,81 @@ def _value_of(data: List[int]) -> int:
     )
 
 
+def _pattern_payload(tag: int, data: List[int], value: int) -> int:
+    """Build the payload of one Table II pattern (the search's winner)."""
+    if tag == 0b000:
+        return 0
+    if tag == 0b001:
+        payload = 0
+        for i, b in enumerate(data):
+            payload |= (b & 0b11) << (2 * i)
+        return payload
+    if tag == 0b010:
+        payload = 0
+        for i, b in enumerate(data):
+            payload |= (b & 0xF) << (4 * i)
+        return payload
+    if tag == 0b011:
+        return value & 0xFF
+    if tag == 0b100:
+        return value & 0xFFFF
+    if tag == 0b101:
+        return value & 0xFFFF_FFFF
+    if tag == 0b110:
+        payload = 0
+        for i, b in enumerate(data):
+            payload |= (b >> 4) << (4 * i)
+        return payload
+    payload = 0
+    for i, b in enumerate(data[1:]):
+        payload |= b << (8 * i)
+    return payload
+
+
 def dldc_compress_pattern(data: List[int]) -> Optional[Tuple[int, int, int]]:
     """Try the Table II patterns on a dirty-byte string.
 
     Returns ``(tag, payload, payload_bits)`` for the smallest matching
     pattern, or None when no pattern matches.  ``data`` is the little-endian
     dirty-byte sequence (clean bytes already discarded).
+
+    Pattern applicability runs over the precomputed per-byte tables and the
+    Table II cost table of :mod:`repro.encoding.memo`, so only the winning
+    pattern's payload is ever materialized.  Ties keep the lowest tag, like
+    the original candidate-list ``min``.
     """
     if not data:
         raise ValueError("empty dirty-byte string")
     k = len(data)
     n_bits = 8 * k
     value = _value_of(data)
-    candidates: List[Tuple[int, int, int]] = []
-
     if value == 0:
-        candidates.append((0b000, 0, 0))
-    if all(fits_signed(b, 2, 8) for b in data):
-        payload = 0
-        for i, b in enumerate(data):
-            payload |= (b & 0b11) << (2 * i)
-        candidates.append((0b001, payload, 2 * k))
-    if all(fits_signed(b, 4, 8) for b in data):
-        payload = 0
-        for i, b in enumerate(data):
-            payload |= (b & 0xF) << (4 * i)
-        candidates.append((0b010, payload, 4 * k))
-    if n_bits > 8 and fits_signed(value, 8, n_bits):
-        candidates.append((0b011, value & 0xFF, 8))
-    if n_bits > 16 and fits_signed(value, 16, n_bits):
-        candidates.append((0b100, value & 0xFFFF, 16))
-    if n_bits > 32 and fits_signed(value, 32, n_bits):
-        candidates.append((0b101, value & 0xFFFF_FFFF, 32))
-    if all(b & 0x0F == 0 for b in data):
-        payload = 0
-        for i, b in enumerate(data):
-            payload |= (b >> 4) << (4 * i)
-        candidates.append((0b110, payload, 4 * k))
-    if k > 1 and data[0] == 0:
-        payload = 0
-        for i, b in enumerate(data[1:]):
-            payload |= b << (8 * i)
-        candidates.append((0b111, payload, 8 * (k - 1)))
+        return 0b000, 0, 0
 
-    if not candidates:
+    costs = DLDC_PATTERN_BITS
+    best_tag = -1
+    best_bits = 1 << 30
+    if all(BYTE_FITS_SE2[b] for b in data):
+        best_tag, best_bits = 0b001, costs[0b001][k]
+    bits = costs[0b010][k]
+    if bits < best_bits and all(BYTE_FITS_SE4[b] for b in data):
+        best_tag, best_bits = 0b010, bits
+    for tag, from_bits in ((0b011, 8), (0b100, 16), (0b101, 32)):
+        bits = costs[tag][k]
+        if bits is not None and bits < best_bits and fits_signed(
+            value, from_bits, n_bits
+        ):
+            best_tag, best_bits = tag, bits
+    bits = costs[0b110][k]
+    if bits < best_bits and all(BYTE_LOW_NIBBLE_ZERO[b] for b in data):
+        best_tag, best_bits = 0b110, bits
+    bits = costs[0b111][k]
+    if bits is not None and bits < best_bits and data[0] == 0:
+        best_tag, best_bits = 0b111, bits
+
+    if best_tag < 0:
         return None
-    return min(candidates, key=lambda c: c[2])
+    return best_tag, _pattern_payload(best_tag, data, value), best_bits
 
 
 def dldc_decompress_pattern(tag: int, payload: int, k: int) -> List[int]:
@@ -133,6 +169,19 @@ class DldcEncoding:
     dirty_bytes: List[int]
 
 
+# The silent log write is input-independent, so every silent encode
+# returns this one frozen instance instead of allocating a fresh result.
+_SILENT_LOG_WRITE = EncodedWord(
+    method="dldc",
+    payload=0,
+    payload_bits=0,
+    tag_bits=0,
+    policy=policy_for_size(0),
+    dirty_mask=0,
+    silent=True,
+)
+
+
 class DldcCodec(WordCodec):
     """DLDC as a word codec for *log data*.
 
@@ -143,6 +192,9 @@ class DldcCodec(WordCodec):
 
     name = "dldc"
     DIRTY_FLAG_BITS = WORD_BYTES  # one flag bit per log data byte
+
+    def __init__(self, memo: Optional[MemoConfig] = None) -> None:
+        self._memo = memo.make_memo() if memo is not None else None
 
     def encode(self, word: int, old_word: Optional[int] = None) -> EncodedWord:
         raise TypeError(
@@ -156,15 +208,18 @@ class DldcCodec(WordCodec):
         word = mask_word(word)
         if dirty_mask == 0:
             # Silent log write: all bytes clean, nothing reaches NVMM.
-            return EncodedWord(
-                method=self.name,
-                payload=0,
-                payload_bits=0,
-                tag_bits=0,
-                policy=policy_for_size(0),
-                dirty_mask=0,
-                silent=True,
-            )
+            return _SILENT_LOG_WRITE
+        memo = self._memo
+        if memo is None:
+            return self._encode_dirty(word, dirty_mask)
+        key = (word, dirty_mask)
+        encoded = memo.get(key)
+        if encoded is None:
+            encoded = self._encode_dirty(word, dirty_mask)
+            memo.put(key, encoded)
+        return encoded
+
+    def _encode_dirty(self, word: int, dirty_mask: int) -> EncodedWord:
         dirty = select_bytes(word, dirty_mask)
         k = len(dirty)
         match = dldc_compress_pattern(dirty)

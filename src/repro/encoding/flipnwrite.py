@@ -22,6 +22,9 @@ class FlipNWriteCodec(WordCodec):
     """Write ``word`` or ``~word``, whichever flips fewer bits."""
 
     name = "flip-n-write"
+    # The flip decision depends on the old contents, so results cannot be
+    # memoized per-word; keep the context-sensitive default.
+    context_free = False
 
     def encode(self, word: int, old_word: Optional[int] = None) -> EncodedWord:
         word = mask_word(word)

@@ -21,6 +21,7 @@ from repro.common.bitops import (
 )
 from repro.encoding.base import EncodedWord, WordCodec
 from repro.encoding.expansion import ExpansionPolicy, policy_for_size
+from repro.encoding.memo import FPC_SMALL_WORD_PREFIX, MemoConfig
 
 FPC_TAG_BITS = 3
 
@@ -40,6 +41,10 @@ FPC_PATTERNS = {
 def fpc_match(word: int) -> int:
     """Return the FPC prefix for the smallest pattern matching ``word``."""
     word = mask_word(word)
+    if word < 256:
+        # Small words dominate log metadata and workload values; their
+        # prefix class is a table lookup (repro.encoding.memo).
+        return FPC_SMALL_WORD_PREFIX[word]
     if word == 0:
         return 0b000
     if fits_signed(word, 4):
@@ -116,15 +121,29 @@ class FpcCodec(WordCodec):
     """
 
     name = "fpc"
+    context_free = True
 
-    def __init__(self, expansion_enabled: bool = False) -> None:
+    def __init__(
+        self,
+        expansion_enabled: bool = False,
+        memo: Optional[MemoConfig] = None,
+    ) -> None:
         self._expansion_enabled = expansion_enabled
+        self._memo = memo.make_memo() if memo is not None else None
 
     def encode(self, word: int, old_word: Optional[int] = None) -> EncodedWord:
         # The 3-bit prefix lives in the per-word tag cells (CompEx stores
         # compression tags in a separate tag array); the payload alone maps
         # onto the 22 data cells.
-        return _fpc_encode_cached(mask_word(word), self._expansion_enabled)
+        word = mask_word(word)
+        memo = self._memo
+        if memo is None:
+            return _fpc_encode_cached(word, self._expansion_enabled)
+        encoded = memo.get(word)
+        if encoded is None:
+            encoded = _fpc_encode_cached(word, self._expansion_enabled)
+            memo.put(word, encoded)
+        return encoded
 
     def decode(self, encoded: EncodedWord, old_word: Optional[int] = None) -> int:
         if encoded.method != self.name:

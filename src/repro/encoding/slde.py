@@ -9,12 +9,13 @@ entries — we charge the conservative 3).
 """
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.common.bitops import mask_word
 from repro.encoding.base import EncodedWord, WordCodec
 from repro.encoding.crade import CradeCodec
 from repro.encoding.dldc import DldcCodec
+from repro.encoding.memo import MemoConfig
 
 ENCODING_TYPE_FLAG_BITS = 3
 
@@ -43,12 +44,25 @@ class SldeCodec(WordCodec):
 
     name = "slde"
 
-    def __init__(self, expansion_enabled: bool = True, alternative: Optional[WordCodec] = None) -> None:
+    def __init__(
+        self,
+        expansion_enabled: bool = True,
+        alternative: Optional[WordCodec] = None,
+        memo: Optional[MemoConfig] = None,
+    ) -> None:
         if alternative is None:
-            alternative = CradeCodec(expansion_enabled=expansion_enabled)
+            alternative = CradeCodec(expansion_enabled=expansion_enabled, memo=memo)
         self._alternative = alternative
-        self._dldc = DldcCodec()
+        self._dldc = DldcCodec(memo=memo)
         self._expansion_enabled = expansion_enabled
+        # SLDE delegates non-log encodes to the alternative, so its
+        # context-freeness is the alternative's.
+        self.context_free = alternative.context_free
+        # Decision memos.  The choice (and its hook report) is a pure
+        # function of the inputs below, so a hit replays the exact hook
+        # arguments the compute path would have emitted.
+        self._log_memo = memo.make_memo() if memo is not None else None
+        self._pair_memo = memo.make_memo() if memo is not None else None
         # Observation tap for the size comparator (installed by the NVM
         # module when tracing is on): called with
         # (word, chosen_method, chosen_bits, rejected_method,
@@ -67,6 +81,52 @@ class SldeCodec(WordCodec):
         """Non-log data bypass DLDC and use the alternative codec."""
         return self._alternative.encode(word, old_word)
 
+    def encode_line(
+        self,
+        words: Sequence[int],
+        old_words: Optional[Sequence[int]] = None,
+    ) -> List[EncodedWord]:
+        """Non-log lines go straight to the alternative codec's batch."""
+        return self._alternative.encode_line(words, old_words)
+
+    def _choose(
+        self,
+        word: int,
+        old_word: Optional[int],
+        dirty_mask: int,
+        allow_dldc: bool,
+    ) -> Tuple[EncodedWord, tuple, EncodedWord]:
+        """The size comparator as a pure function.
+
+        Returns ``(chosen, hook_args, alternative_candidate)``.  The hook
+        arguments are computed here — not fired — so memoized decisions can
+        replay them verbatim, and the pair path can rewrite them when it
+        overrides a side.  The alternative candidate is returned so the
+        pair conflict resolution reuses the *same context-aware* encoding
+        whose cost the comparator saw.
+        """
+        alt = self._alternative.encode(word, old_word)
+        if not allow_dldc:
+            hook = (word, alt.method, alt.total_bits, None, None, alt.silent)
+            return alt, hook, alt
+        dldc = self._dldc.encode_log(word, dirty_mask)
+        if dldc.silent:
+            hook = (word, "dldc", dldc.total_bits, alt.method, alt.total_bits, True)
+            return dldc, hook, alt
+        alt_cost = alt.total_bits + ENCODING_TYPE_FLAG_BITS
+        dldc_cost = dldc.total_bits + ENCODING_TYPE_FLAG_BITS
+        chosen = dldc if dldc_cost < alt_cost else alt
+        rejected = alt if chosen is dldc else dldc
+        hook = (
+            word,
+            chosen.method,
+            chosen.total_bits,
+            rejected.method,
+            rejected.total_bits,
+            chosen.silent,
+        )
+        return chosen, hook, alt
+
     def encode_log(self, word: int, context: LogWriteContext) -> EncodedWord:
         """Encode one word of log data, choosing the cheaper codec.
 
@@ -75,34 +135,73 @@ class SldeCodec(WordCodec):
         both candidates so the choice is fair.
         """
         word = mask_word(word)
-        alt = self._alternative.encode(word, context.old_word)
-        alt_cost = alt.total_bits + ENCODING_TYPE_FLAG_BITS
-        if not context.allow_dldc:
-            if self.decision_hook is not None:
-                self.decision_hook(
-                    word, alt.method, alt.total_bits, None, None, alt.silent
-                )
-            return alt
-        dldc = self._dldc.encode_log(word, context.dirty_mask)
-        if dldc.silent:
-            if self.decision_hook is not None:
-                self.decision_hook(
-                    word, "dldc", dldc.total_bits, alt.method, alt.total_bits, True
-                )
-            return dldc
-        dldc_cost = dldc.total_bits + ENCODING_TYPE_FLAG_BITS
-        chosen = dldc if dldc_cost < alt_cost else alt
-        if self.decision_hook is not None:
-            rejected = alt if chosen is dldc else dldc
-            self.decision_hook(
-                word,
-                chosen.method,
-                chosen.total_bits,
-                rejected.method,
-                rejected.total_bits,
-                chosen.silent,
+        memo = self._log_memo
+        if memo is None:
+            chosen, hook, _alt = self._choose(
+                word, context.old_word, context.dirty_mask, context.allow_dldc
             )
+        else:
+            # A context-free alternative ignores the old word, so dropping
+            # it from the key multiplies the hit rate.
+            old_key = None if self._alternative.context_free else context.old_word
+            key = (word, old_key, context.dirty_mask, context.allow_dldc)
+            cached = memo.get(key)
+            if cached is None:
+                cached = self._choose(
+                    word, context.old_word, context.dirty_mask, context.allow_dldc
+                )
+                memo.put(key, cached)
+            chosen, hook, _alt = cached
+        if self.decision_hook is not None:
+            self.decision_hook(*hook)
         return chosen
+
+    def _choose_pair(
+        self,
+        undo_word: int,
+        redo_word: int,
+        dirty_mask: int,
+    ) -> Tuple[EncodedWord, EncodedWord, tuple, tuple]:
+        """Pure pair decision: both sides, conflicts resolved, hooks built."""
+        undo_enc, undo_hook, undo_alt = self._choose(
+            undo_word, redo_word, dirty_mask, True
+        )
+        redo_enc, redo_hook, redo_alt = self._choose(
+            redo_word, undo_word, dirty_mask, True
+        )
+        if (
+            undo_enc.method == "dldc"
+            and redo_enc.method == "dldc"
+            and not undo_enc.silent
+            and not redo_enc.silent
+        ):
+            # Both sides picked DLDC: keep it where it saves more.  The
+            # loser falls back to the alternative candidate the comparator
+            # already costed (same old-word context), and its decision is
+            # re-reported so traces match the bits actually written.
+            undo_saving = undo_alt.total_bits - undo_enc.total_bits
+            redo_saving = redo_alt.total_bits - redo_enc.total_bits
+            if undo_saving > redo_saving:
+                redo_hook = (
+                    redo_word,
+                    redo_alt.method,
+                    redo_alt.total_bits,
+                    "dldc",
+                    redo_enc.total_bits,
+                    redo_alt.silent,
+                )
+                redo_enc = redo_alt
+            else:
+                undo_hook = (
+                    undo_word,
+                    undo_alt.method,
+                    undo_alt.total_bits,
+                    "dldc",
+                    undo_enc.total_bits,
+                    undo_alt.silent,
+                )
+                undo_enc = undo_alt
+        return undo_enc, redo_enc, undo_hook, redo_hook
 
     def encode_undo_redo_pair(
         self,
@@ -116,22 +215,22 @@ class SldeCodec(WordCodec):
         DLDC, keep it for the side where it saves more and fall back to the
         alternative codec for the other.
         """
-        undo_ctx = LogWriteContext(old_word=redo_word, dirty_mask=dirty_mask)
-        redo_ctx = LogWriteContext(old_word=undo_word, dirty_mask=dirty_mask)
-        undo_enc = self.encode_log(undo_word, undo_ctx)
-        redo_enc = self.encode_log(redo_word, redo_ctx)
-        if undo_enc.method == "dldc" and redo_enc.method == "dldc":
-            if undo_enc.silent or redo_enc.silent:
-                # A silent side wrote nothing, so no conflict arises.
-                return undo_enc, redo_enc
-            undo_alt = self._alternative.encode(undo_word)
-            redo_alt = self._alternative.encode(redo_word)
-            undo_saving = undo_alt.total_bits - undo_enc.total_bits
-            redo_saving = redo_alt.total_bits - redo_enc.total_bits
-            if undo_saving > redo_saving:
-                redo_enc = redo_alt
-            else:
-                undo_enc = undo_alt
+        undo_word = mask_word(undo_word)
+        redo_word = mask_word(redo_word)
+        memo = self._pair_memo
+        if memo is None:
+            result = self._choose_pair(undo_word, redo_word, dirty_mask)
+        else:
+            key = (undo_word, redo_word, dirty_mask)
+            result = memo.get(key)
+            if result is None:
+                result = self._choose_pair(undo_word, redo_word, dirty_mask)
+                memo.put(key, result)
+        undo_enc, redo_enc, undo_hook, redo_hook = result
+        hook = self.decision_hook
+        if hook is not None:
+            hook(*undo_hook)
+            hook(*redo_hook)
         return undo_enc, redo_enc
 
     def decode(self, encoded: EncodedWord, old_word: Optional[int] = None) -> int:

@@ -23,6 +23,7 @@ from typing import Any, Dict, Optional
 
 from repro.core.system import RunResult
 from repro.experiments.serialize import (
+    RESULT_INERT_ENCODING_FIELDS,
     config_to_dict,
     params_to_dict,
     run_result_from_dict,
@@ -56,7 +57,21 @@ def cell_key_fields(
     n_threads: int,
     repro_scale: float,
 ) -> Dict[str, Any]:
-    """The exact dict that is hashed into a cache key."""
+    """The exact dict that is hashed into a cache key.
+
+    Result-inert encoding fields (the codec-memo knobs — see
+    :data:`repro.experiments.serialize.RESULT_INERT_ENCODING_FIELDS`) are
+    dropped here: memoization cannot change a cell's result, so toggling
+    it must map to the same key.
+    """
+    encoding = config_dict.get("encoding")
+    if encoding and any(name in encoding for name in RESULT_INERT_ENCODING_FIELDS):
+        encoding = {
+            k: v
+            for k, v in encoding.items()
+            if k not in RESULT_INERT_ENCODING_FIELDS
+        }
+        config_dict = dict(config_dict, encoding=encoding)
     return {
         "version": CACHE_VERSION,
         "design": design,

@@ -51,6 +51,29 @@ def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
     return asdict(config)
 
 
+#: Encoding-config fields that cannot change any run result (the codec
+#: memoization layer is result-inert by construction, pinned by
+#: tests/test_codec_memo.py).  They are stripped from grid cache keys so
+#: toggling them neither invalidates cached results nor forks the key
+#: space — and so keys stay byte-stable with the era before the knobs
+#: existed.
+RESULT_INERT_ENCODING_FIELDS = ("codec_memo", "codec_memo_entries")
+
+
+def config_key_dict(config: SystemConfig) -> Dict[str, Any]:
+    """Like :func:`config_to_dict` but with result-inert fields removed.
+
+    Use this form for cache keys only; worker processes must get the full
+    :func:`config_to_dict` so the knobs round-trip.
+    """
+    data = asdict(config)
+    encoding = dict(data["encoding"])
+    for name in RESULT_INERT_ENCODING_FIELDS:
+        encoding.pop(name, None)
+    data["encoding"] = encoding
+    return data
+
+
 def config_from_dict(data: Dict[str, Any]) -> SystemConfig:
     caches = data["caches"]
     return SystemConfig(

@@ -68,6 +68,12 @@ class HardwareLogger(CacheListener):
         # Trace bus (see repro.trace), installed by System.install_tracer.
         # Observation-only: emissions never touch simulated state or time.
         self.tracer = None
+        # Interned LogWriteContext instances, see _log_context.
+        self._context_cache: dict = {}
+
+    #: Bound on interned contexts; the cache resets wholesale past it
+    #: (values are frozen, so dropping them is always safe).
+    _CONTEXT_CACHE_MAX = 4096
 
     def on_data_persisted(self, line_addr: int, now_ns: float) -> None:
         if self.data_persisted_hook is not None:
@@ -137,7 +143,17 @@ class HardwareLogger(CacheListener):
     def _log_context(self, entry: LogEntry) -> Optional[LogWriteContext]:
         if not self.use_dirty_flags:
             return None
-        return LogWriteContext(old_word=entry.undo, dirty_mask=entry.dirty_mask)
+        # Contexts repeat heavily (same undo value + dirty mask across a
+        # workload's store stream); intern them so the SLDE hot path and
+        # its memo keys reuse one frozen instance per distinct pair.
+        key = (entry.undo, entry.dirty_mask)
+        context = self._context_cache.get(key)
+        if context is None:
+            if len(self._context_cache) >= self._CONTEXT_CACHE_MAX:
+                self._context_cache.clear()
+            context = LogWriteContext(old_word=entry.undo, dirty_mask=entry.dirty_mask)
+            self._context_cache[key] = context
+        return context
 
     def persist_entry(self, entry: LogEntry, now_ns: float) -> WriteResult:
         """Write one buffer entry to the log region."""

@@ -24,6 +24,7 @@ from repro.common.config import EncodingConfig, NVMConfig
 from repro.common.stats import StatGroup
 from repro.encoding import make_codec
 from repro.encoding.base import EncodedWord, WordCodec
+from repro.encoding.memo import MemoConfig
 from repro.encoding.slde import LogWriteContext, SldeCodec
 from repro.nvm.array import NvmArray, WriteCost
 from repro.nvm.timing import BankTiming, WriteSchedule
@@ -74,11 +75,15 @@ class NvmModule:
         self.timing = BankTiming(nvm_config, self.stats, line_bytes)
         self._nvm_config = nvm_config
         self._encoding_config = encoding_config
+        memo = MemoConfig(
+            enabled=encoding_config.codec_memo,
+            entries=encoding_config.codec_memo_entries,
+        )
         self.data_codec: WordCodec = make_codec(
-            encoding_config.data_codec, encoding_config.expansion_enabled
+            encoding_config.data_codec, encoding_config.expansion_enabled, memo
         )
         self.log_codec: WordCodec = make_codec(
-            encoding_config.log_codec, encoding_config.expansion_enabled
+            encoding_config.log_codec, encoding_config.expansion_enabled, memo
         )
         # Secure-NVMM model (section IV-D).  Encryption only changes what
         # the cells see (ciphertext entropy / dirtiness); the array keeps
@@ -171,28 +176,36 @@ class NvmModule:
             raise ValueError("a data line write carries exactly 8 words")
         if self.crash_plan is not None:
             self.crash_plan.fire("data-writeback", addr=addr)
-        encoded = []
         epoch = 0
         if self._secure == "full":
             # Naive encryption: the whole line re-encrypts with a new
             # counter on every write — everything turns dirty.
             epoch = self._line_epoch.get(addr, 0) + 1
             self._line_epoch[addr] = epoch
-        for i, word in enumerate(words):
-            word_addr = addr + i * WORD_BYTES
-            old = self.array.read_logical(word_addr)
-            new = mask_word(word)
-            if self._secure == "none":
-                encoded.append(self.data_codec.encode(new, old))
-            elif self._secure == "deuce":
-                # DEUCE: only changed words are re-encrypted; the cipher
-                # text of an unchanged word stays put (DCW-silent).
-                encoded.append(self.data_codec.encode(self._cipher(word_addr, new)))
-            else:
-                encoded.append(
-                    self.data_codec.encode(self._cipher(word_addr, new, epoch))
-                )
-        return self._write_words(addr, encoded, [mask_word(w) for w in words], now_ns, WriteKind.DATA)
+        news = [mask_word(word) for word in words]
+        if self._secure == "none":
+            olds = [
+                self.array.read_logical(addr + i * WORD_BYTES)
+                for i in range(len(news))
+            ]
+            encoded = self.data_codec.encode_line(news, olds)
+        elif self._secure == "deuce":
+            # DEUCE: only changed words are re-encrypted; the cipher
+            # text of an unchanged word stays put (DCW-silent).
+            encoded = self.data_codec.encode_line(
+                [
+                    self._cipher(addr + i * WORD_BYTES, new)
+                    for i, new in enumerate(news)
+                ]
+            )
+        else:
+            encoded = self.data_codec.encode_line(
+                [
+                    self._cipher(addr + i * WORD_BYTES, new, epoch)
+                    for i, new in enumerate(news)
+                ]
+            )
+        return self._write_words(addr, encoded, news, now_ns, WriteKind.DATA)
 
     def encode_log_words(
         self,
@@ -206,11 +219,9 @@ class NvmModule:
         compresses log metadata with FPC).  Undo+redo pairs respect the
         never-both-DLDC rule via :meth:`SldeCodec.encode_undo_redo_pair`.
         """
-        encoded: List[EncodedWord] = []
-        logicals: List[int] = []
-        for meta in meta_words:
-            encoded.append(self.data_codec.encode(mask_word(meta)))
-            logicals.append(mask_word(meta))
+        logicals: List[int] = [mask_word(meta) for meta in meta_words]
+        # Metadata words batch through the general codec in one call.
+        encoded: List[EncodedWord] = list(self.data_codec.encode_line(logicals))
 
         # The array keeps plaintext as the logical ground truth; secure
         # modes only change what the cells (and costs) see.

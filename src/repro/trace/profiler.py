@@ -132,8 +132,8 @@ class PhaseProfiler:
         codecs = {id(module.data_codec): module.data_codec,
                   id(module.log_codec): module.log_codec}
         for codec in codecs.values():
-            for attr in ("encode", "encode_log", "encode_undo_redo_pair",
-                         "decode"):
+            for attr in ("encode", "encode_line", "encode_log",
+                         "encode_undo_redo_pair", "decode"):
                 self._install_method(codec, attr, "encoding")
         self._install_method(system.hierarchy, "access", "cache")
         self._install_method(system.hierarchy, "force_write_back_scan", "cache")

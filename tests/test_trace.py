@@ -222,6 +222,43 @@ class TestChromeExport:
         assert read_event_lines(path) == events
 
 
+class TestSldeDecisionTruth:
+    """slde-decision events must match the bits actually written.
+
+    Regression for a bug where the undo+redo conflict path emitted "dldc
+    chosen" for a side that was subsequently replaced by the alternative
+    codec, so traces and metrics disagreed with the NVM traffic.
+    """
+
+    def test_conflict_path_reports_replaced_side(self):
+        from repro.common.config import EncodingConfig, NVMConfig
+        from repro.common.stats import StatGroup
+        from repro.encoding.slde import LogWriteContext
+        from repro.nvm.module import LogDataWord, NvmModule
+
+        module = NvmModule(NVMConfig(), EncodingConfig(), StatGroup("t"))
+        bus = TraceBus(TraceConfig(enabled=True))
+        module.set_tracer(bus)
+        # Both words are FPC-incompressible and differ in one byte, so
+        # both sides prefer DLDC and the conflict path must demote one.
+        undo, redo = 0x0123_4567_89AB_CDEF, 0x0123_4567_89AB_CDEE
+        ctx = LogWriteContext(old_word=undo, dirty_mask=0x01)
+        result = module.write_log_entry(
+            0x100, [0x1], 0.0,
+            undo=LogDataWord(undo, ctx), redo=LogDataWord(redo, ctx),
+        )
+        undo_enc, redo_enc = result.encoded_words[-2:]
+        assert {undo_enc.method, redo_enc.method} == {"dldc", "crade"}
+        decisions = [e for e in bus.events if e.name == "slde-decision"]
+        assert len(decisions) == 2
+        for event, enc in zip(decisions, (undo_enc, redo_enc)):
+            assert event.args["chosen"] == enc.method
+            assert event.args["chosen_bits"] == enc.total_bits
+            assert event.args["silent"] == enc.silent
+        overridden = decisions[0 if undo_enc.method != "dldc" else 1]
+        assert overridden.args["rejected"] == "dldc"
+
+
 class TestSystemIntegration:
     def test_morlog_emits_expected_event_families(self):
         system, _result = run_traced(n_tx=40)
