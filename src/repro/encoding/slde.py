@@ -127,6 +127,32 @@ class SldeCodec(WordCodec):
         )
         return chosen, hook, alt
 
+    def _choose_cached(
+        self,
+        word: int,
+        old_word: Optional[int],
+        dirty_mask: int,
+        allow_dldc: bool,
+    ) -> Tuple[EncodedWord, tuple, EncodedWord]:
+        """:meth:`_choose` through the shared per-word decision memo.
+
+        Both the single-word path and the pair path's per-side decisions
+        come through here, so an ``encode_log`` of a word later seen in an
+        undo+redo pair (or vice versa) is a hit.
+        """
+        memo = self._log_memo
+        if memo is None:
+            return self._choose(word, old_word, dirty_mask, allow_dldc)
+        # A context-free alternative ignores the old word, so dropping
+        # it from the key multiplies the hit rate.
+        old_key = None if self._alternative.context_free else old_word
+        key = (word, old_key, dirty_mask, allow_dldc)
+        cached = memo.get(key)
+        if cached is None:
+            cached = self._choose(word, old_word, dirty_mask, allow_dldc)
+            memo.put(key, cached)
+        return cached
+
     def encode_log(self, word: int, context: LogWriteContext) -> EncodedWord:
         """Encode one word of log data, choosing the cheaper codec.
 
@@ -135,23 +161,9 @@ class SldeCodec(WordCodec):
         both candidates so the choice is fair.
         """
         word = mask_word(word)
-        memo = self._log_memo
-        if memo is None:
-            chosen, hook, _alt = self._choose(
-                word, context.old_word, context.dirty_mask, context.allow_dldc
-            )
-        else:
-            # A context-free alternative ignores the old word, so dropping
-            # it from the key multiplies the hit rate.
-            old_key = None if self._alternative.context_free else context.old_word
-            key = (word, old_key, context.dirty_mask, context.allow_dldc)
-            cached = memo.get(key)
-            if cached is None:
-                cached = self._choose(
-                    word, context.old_word, context.dirty_mask, context.allow_dldc
-                )
-                memo.put(key, cached)
-            chosen, hook, _alt = cached
+        chosen, hook, _alt = self._choose_cached(
+            word, context.old_word, context.dirty_mask, context.allow_dldc
+        )
         if self.decision_hook is not None:
             self.decision_hook(*hook)
         return chosen
@@ -162,11 +174,16 @@ class SldeCodec(WordCodec):
         redo_word: int,
         dirty_mask: int,
     ) -> Tuple[EncodedWord, EncodedWord, tuple, tuple]:
-        """Pure pair decision: both sides, conflicts resolved, hooks built."""
-        undo_enc, undo_hook, undo_alt = self._choose(
+        """Pure pair decision: both sides, conflicts resolved, hooks built.
+
+        Per-side decisions go through :meth:`_choose_cached`, so the pair
+        path and ``encode_log`` share one per-word memo; the pair memo on
+        top of it caches only the (cheap) conflict resolution.
+        """
+        undo_enc, undo_hook, undo_alt = self._choose_cached(
             undo_word, redo_word, dirty_mask, True
         )
-        redo_enc, redo_hook, redo_alt = self._choose(
+        redo_enc, redo_hook, redo_alt = self._choose_cached(
             redo_word, undo_word, dirty_mask, True
         )
         if (

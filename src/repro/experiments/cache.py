@@ -23,17 +23,20 @@ from typing import Any, Dict, Optional
 
 from repro.core.system import RunResult
 from repro.experiments.serialize import (
-    RESULT_INERT_ENCODING_FIELDS,
     config_to_dict,
     params_to_dict,
     run_result_from_dict,
     run_result_to_dict,
     stable_hash,
+    strip_result_inert_encoding,
 )
 
-# Bump when the key schema or the stored result format changes; every
-# existing entry then misses instead of deserializing garbage.
-CACHE_VERSION = 1
+# Bump when the key schema, the stored result format, *or the simulated
+# results themselves* change; every existing entry then misses instead of
+# replaying stale data.  Version 2: the SLDE pair-conflict fix changed
+# encoded bit counts (and the golden SPS trace), so version-1 entries
+# hold results from the buggy encoder.
+CACHE_VERSION = 2
 
 # Default location; override with --cache-dir / the REPRO_CACHE_DIR env.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -64,14 +67,7 @@ def cell_key_fields(
     dropped here: memoization cannot change a cell's result, so toggling
     it must map to the same key.
     """
-    encoding = config_dict.get("encoding")
-    if encoding and any(name in encoding for name in RESULT_INERT_ENCODING_FIELDS):
-        encoding = {
-            k: v
-            for k, v in encoding.items()
-            if k not in RESULT_INERT_ENCODING_FIELDS
-        }
-        config_dict = dict(config_dict, encoding=encoding)
+    config_dict = strip_result_inert_encoding(config_dict)
     return {
         "version": CACHE_VERSION,
         "design": design,

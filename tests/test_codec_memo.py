@@ -286,7 +286,9 @@ class TestGridKeyStability:
         assert "codec_memo" in spec.config_dict["encoding"]
 
     def test_key_fields_tolerate_pre_knob_configs(self):
-        # Dicts from the era before the memo knobs hash unchanged.
+        # Config dicts from the era before the memo knobs pass through
+        # the stripping untouched (the key still differs across
+        # CACHE_VERSION bumps, by design).
         legacy = {"encoding": {"log_codec": "slde"}}
         fields = cell_key_fields(
             "d", "w", "SMALL", legacy, {}, 1, 1, 1.0
