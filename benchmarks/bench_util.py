@@ -1,19 +1,58 @@
 """Result persistence for the benchmark harness.
 
 Every benchmark writes its paper-shaped table to ``benchmarks/results/``
-(and prints it), so a full ``pytest benchmarks/ --benchmark-only`` run
-leaves the regenerated evaluation on disk next to the code.  Writes are
-atomic (temp file + ``os.replace``) so parallel benchmark runs can never
-interleave into a torn result file.
+so a full ``pytest benchmarks/`` run leaves the regenerated evaluation
+on disk next to the code.  :func:`emit` is the single exit point:
+
+- the human-readable table goes to ``results/<name>.txt``;
+- when the caller passes ``records`` (a list of
+  :class:`repro.bench.BenchRecord`), the same call writes
+  ``results/<name>.json`` and appends the records to the current
+  repo-root ``BENCH_<n>.json`` trajectory file — the ``.txt`` and the
+  records always land together;
+- the table is echoed to stdout unless quieted (``quiet=True`` or
+  ``REPRO_BENCH_QUIET=1``; CI's reduced-scale runs set the env var).
+
+All writes are atomic (temp file + ``os.replace``; the trajectory append
+additionally serializes on a lock file) so parallel benchmark runs can
+never interleave into a torn result file.
+
+``emit`` returns an :class:`EmitResult` naming every path it wrote, so
+tests can assert on the artifacts.
 """
 
 import os
 import tempfile
+from typing import NamedTuple, Optional, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: Default home of the ``BENCH_<n>.json`` trajectory files: the repo
+#: root (``REPRO_BENCH_DIR`` overrides, tests point it at tmp dirs).
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-def emit(name: str, text: str) -> None:
+
+class EmitResult(NamedTuple):
+    """Paths written by one :func:`emit` call."""
+
+    txt_path: str
+    json_path: Optional[str]
+    run_path: Optional[str]
+
+
+def _quiet(explicit: Optional[bool]) -> bool:
+    if explicit is not None:
+        return explicit
+    return os.environ.get("REPRO_BENCH_QUIET", "").lower() in ("1", "true", "yes")
+
+
+def emit(
+    name: str,
+    text: str,
+    records: Optional[Sequence] = None,
+    quiet: Optional[bool] = None,
+) -> EmitResult:
+    """Persist one benchmark's table (and records), print unless quiet."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, name + ".txt")
     fd, tmp_path = tempfile.mkstemp(prefix="." + name + "-", dir=RESULTS_DIR)
@@ -27,5 +66,17 @@ def emit(name: str, text: str) -> None:
         except OSError:
             pass
         raise
-    print()
-    print(text)
+
+    json_path = run_path = None
+    if records:
+        from repro.bench import append_records, current_run_path, write_result_json
+
+        json_path = os.path.join(RESULTS_DIR, name + ".json")
+        write_result_json(json_path, name, records)
+        root = os.environ.get("REPRO_BENCH_DIR") or REPO_ROOT
+        run_path, _total = append_records(current_run_path(root), records)
+
+    if not _quiet(quiet):
+        print()
+        print(text)
+    return EmitResult(txt_path=path, json_path=json_path, run_path=run_path)

@@ -10,6 +10,7 @@ log.  This bench puts numbers on that story.
 from benchmarks.bench_util import emit
 from benchmarks.conftest import run_once
 from repro.analysis.report import format_table
+from repro.bench import INFO, record
 from repro.experiments.runner import run_design
 from repro.workloads.base import DatasetSize, WorkloadParams
 
@@ -62,6 +63,16 @@ def test_ablation_logging_schemes(benchmark):
             rows,
             "Ablation: logging-scheme taxonomy (normalized to FWB-CRADE)",
         ),
+        records=[
+            record(
+                "ablation_logging_schemes",
+                "undo_vs_fwb_throughput_ratio_echo",
+                results[("echo", "Undo-CRADE")].throughput_tx_per_s
+                / results[("echo", "FWB-CRADE")].throughput_tx_per_s,
+                unit="ratio",
+                direction=INFO,
+            ),
+        ],
     )
     for workload in ("echo", "hash"):
         undo = results[(workload, "Undo-CRADE")]

@@ -15,6 +15,7 @@ from dataclasses import replace
 from benchmarks.bench_util import emit
 from benchmarks.conftest import run_once
 from repro.analysis.report import format_table
+from repro.bench import INFO, LOWER, record
 from repro.experiments.runner import default_config, run_design
 from repro.workloads.base import DatasetSize, WorkloadParams
 
@@ -61,6 +62,16 @@ def test_ablation_llc_redo_discard(benchmark):
             rows,
             "Ablation: LLC redo-entry handling (echo, MorLog-SLDE)",
         ),
+        records=[
+            record(
+                "ablation_llc_redo_discard",
+                "discard_writes_vs_safe_ratio",
+                unsafe.nvmm_writes / safe.nvmm_writes,
+                unit="ratio",
+                direction=LOWER,
+                tolerance=0.05,
+            ),
+        ],
     )
     assert unsafe.nvmm_writes <= safe.nvmm_writes
 
@@ -98,6 +109,16 @@ def test_ablation_log_layout_and_truncation(benchmark):
             rows,
             "Ablation: log layout and truncation (echo, MorLog-SLDE)",
         ),
+        records=[
+            record(
+                "ablation_log_layout",
+                "distributed_vs_central_throughput_ratio",
+                results["distributed"].throughput_tx_per_s
+                / baseline.throughput_tx_per_s,
+                unit="ratio",
+                direction=INFO,
+            ),
+        ],
     )
 
 
@@ -130,6 +151,17 @@ def test_ablation_secure_modes(benchmark):
             rows,
             "Ablation: secure NVMM (section IV-D; echo, MorLog-SLDE)",
         ),
+        records=[
+            record(
+                "ablation_secure_modes",
+                "deuce_energy_vs_plain_ratio",
+                results["deuce"].nvmm_write_energy_pj
+                / plain.nvmm_write_energy_pj,
+                unit="ratio",
+                direction=LOWER,
+                tolerance=0.10,
+            ),
+        ],
     )
     assert results["deuce"].nvmm_write_energy_pj >= plain.nvmm_write_energy_pj
 
@@ -179,6 +211,16 @@ def test_ablation_log_codecs(benchmark):
             rows,
             "Ablation: log-data codec ladder (echo, MorLog logger)",
         ),
+        records=[
+            record(
+                "ablation_log_codecs",
+                "slde_log_bits_vs_raw_ratio",
+                results["slde"].log_bits / raw.log_bits,
+                unit="ratio",
+                direction=LOWER,
+                tolerance=0.10,
+            ),
+        ],
     )
     assert results["slde"].log_bits <= results["crade"].log_bits
     assert results["slde"].nvmm_write_energy_pj <= raw.nvmm_write_energy_pj

@@ -23,6 +23,7 @@ import time
 
 from benchmarks.bench_util import emit
 from repro.analysis.report import format_table
+from repro.bench import INFO, record
 from repro.common.bitops import dirty_byte_mask
 from repro.encoding import LogWriteContext, MemoConfig, SldeCodec
 
@@ -114,6 +115,12 @@ def test_memoized_encoding_speedup(benchmark):
     ]
     speedup = min(paired)
 
+    # One more memoized pass over the stream to capture the steady-state
+    # hit/miss picture the timing rounds ran under (wall-clock speedups
+    # are host-dependent, so the record is informational; the assertion
+    # below still enforces the bar in-run).
+    stats_codec = variants["memo-on"]()
+    encode_stream(stats_codec, stream)
     emit(
         "codec_memo_speedup",
         format_table(
@@ -126,6 +133,16 @@ def test_memoized_encoding_speedup(benchmark):
             "%d log words" % (ROUNDS, len(stream)),
             float_format="%.4f",
         ),
+        records=[
+            record(
+                "codec_memo_speedup",
+                "paired_min_speedup",
+                speedup,
+                unit="x",
+                direction=INFO,  # wall clock: host-dependent, never gates
+                attachments={"memo": stats_codec.memo_stats()},
+            ),
+        ],
     )
 
     assert speedup >= MIN_SPEEDUP, (

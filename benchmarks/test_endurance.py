@@ -9,6 +9,7 @@ MorLog-DP over FWB-CRADE under ideal wear leveling.
 from benchmarks.bench_util import emit
 from benchmarks.conftest import run_once
 from repro.analysis.report import format_table
+from repro.bench import HIGHER, record
 from repro.core.designs import make_system
 from repro.experiments.runner import default_config
 from repro.nvm.endurance import endurance_report, lifetime_improvement
@@ -47,5 +48,15 @@ def test_endurance_lifetime(benchmark):
             rows,
             "Section VI-C: wear and estimated lifetime (echo)",
         ),
+        records=[
+            record(
+                "endurance_lifetime",
+                "morlog_dp_lifetime_vs_fwb",
+                lifetime_improvement(baseline, reports["MorLog-DP"]),
+                unit="ratio",
+                direction=HIGHER,
+                tolerance=0.10,
+            ),
+        ],
     )
     assert lifetime_improvement(baseline, reports["MorLog-DP"]) > 1.0

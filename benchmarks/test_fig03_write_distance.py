@@ -7,12 +7,26 @@ are first writes.
 
 from benchmarks.bench_util import emit
 from benchmarks.conftest import run_once
+from repro.bench import LOWER, record
 from repro.experiments import figures
 
 
 def test_fig03_write_distance(benchmark, scale):
     data = run_once(benchmark, lambda: figures.fig3_write_distance(scale))
-    emit("fig03_write_distance", figures.fig3_table(data))
+    emit(
+        "fig03_write_distance",
+        figures.fig3_table(data),
+        records=[
+            record(
+                "fig03_write_distance",
+                "echo_first_write_fraction",
+                data["echo"]["First Write"],
+                unit="fraction",
+                direction=LOWER,
+                tolerance=0.15,
+            ),
+        ],
+    )
     for dist in data.values():
         assert abs(sum(dist.values()) - 1.0) < 1e-9
     # The macro workloads must show substantial rewrite behaviour.

@@ -6,11 +6,25 @@ observation motivating DLDC.
 
 from benchmarks.bench_util import emit
 from benchmarks.conftest import run_once
+from repro.bench import HIGHER, record
 from repro.experiments import figures
 
 
 def test_fig05_clean_bytes(benchmark, scale):
     data = run_once(benchmark, lambda: figures.fig5_clean_bytes(scale))
-    emit("fig05_clean_bytes", figures.fig5_table(data))
     average = sum(data.values()) / len(data)
+    emit(
+        "fig05_clean_bytes",
+        figures.fig5_table(data),
+        records=[
+            record(
+                "fig05_clean_bytes",
+                "avg_clean_bytes_percent",
+                average,
+                unit="percent",
+                direction=HIGHER,
+                tolerance=0.10,
+            ),
+        ],
+    )
     assert 40.0 < average < 95.0, "clean-byte ratio lost the paper's shape"

@@ -9,6 +9,7 @@ from collections import OrderedDict
 
 from benchmarks.bench_util import emit
 from benchmarks.conftest import run_once
+from repro.bench import HIGHER, record
 from repro.common.stats import geometric_mean
 from repro.experiments import figures
 
@@ -30,6 +31,24 @@ def test_fig12a_small_dataset(benchmark, micro_grid_small):
         figures.normalized_table(
             values, "Figure 12(a): micro throughput, small dataset (normalized)"
         ),
+        records=[
+            record(
+                "fig12a_micro_throughput_small",
+                "gmean_morlog_slde_vs_fwb",
+                _gmean_ratio(values, "MorLog-SLDE"),
+                unit="ratio",
+                direction=HIGHER,
+                tolerance=0.05,
+            ),
+            record(
+                "fig12a_micro_throughput_small",
+                "gmean_morlog_crade_vs_fwb",
+                _gmean_ratio(values, "MorLog-CRADE"),
+                unit="ratio",
+                direction=HIGHER,
+                tolerance=0.05,
+            ),
+        ],
     )
     assert _gmean_ratio(values, "MorLog-SLDE") > 1.0
     # MorLog-CRADE stays within a few percent of FWB-CRADE on micros.
@@ -38,14 +57,33 @@ def test_fig12a_small_dataset(benchmark, micro_grid_small):
 
 def test_fig12b_large_dataset(benchmark, micro_grid_large):
     values = run_once(benchmark, lambda: _throughput(micro_grid_large))
+    row = values["sps"]
     emit(
         "fig12b_micro_throughput_large",
         figures.normalized_table(
             values, "Figure 12(b): micro throughput, large dataset (normalized)"
         ),
+        records=[
+            record(
+                "fig12b_micro_throughput_large",
+                "gmean_morlog_slde_vs_fwb",
+                _gmean_ratio(values, "MorLog-SLDE"),
+                unit="ratio",
+                direction=HIGHER,
+                tolerance=0.05,
+            ),
+            record(
+                "fig12b_micro_throughput_large",
+                "sps_slde_advantage_vs_crade",
+                row["MorLog-SLDE"] / row["FWB-CRADE"]
+                - row["MorLog-CRADE"] / row["FWB-CRADE"],
+                unit="ratio",
+                direction=HIGHER,
+                tolerance=0.25,
+            ),
+        ],
     )
     assert _gmean_ratio(values, "MorLog-SLDE") > 1.0
     # SPS with the large dataset is where SLDE shines the most (paper:
     # 8.8x there) because the swapped entries share templates.
-    row = values["sps"]
     assert row["MorLog-SLDE"] / row["FWB-CRADE"] > row["MorLog-CRADE"] / row["FWB-CRADE"]

@@ -7,6 +7,7 @@ the full MorLog design lands well below 1.0.
 
 from benchmarks.bench_util import emit
 from benchmarks.conftest import run_once
+from repro.bench import LOWER, record
 from repro.common.stats import geometric_mean
 from repro.experiments import figures
 
@@ -18,14 +19,24 @@ def test_fig13_write_traffic(benchmark, micro_grid_small):
             micro_grid_small, lambda r: float(r.nvmm_writes)
         ),
     )
+    gmean = geometric_mean(
+        [row["MorLog-DP"] / row["FWB-CRADE"] for row in values.values()]
+    )
     emit(
         "fig13_write_traffic",
         figures.normalized_table(
             values, "Figure 13: NVMM write traffic, small dataset (normalized)"
         ),
-    )
-    gmean = geometric_mean(
-        [row["MorLog-DP"] / row["FWB-CRADE"] for row in values.values()]
+        records=[
+            record(
+                "fig13_write_traffic",
+                "gmean_morlog_dp_vs_fwb",
+                gmean,
+                unit="ratio",
+                direction=LOWER,
+                tolerance=0.05,
+            ),
+        ],
     )
     assert gmean < 1.0, "MorLog-DP must reduce NVMM write traffic"
     for row in values.values():

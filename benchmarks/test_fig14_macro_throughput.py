@@ -7,19 +7,30 @@ MorLog-DP ends highest on average.
 
 from benchmarks.bench_util import emit
 from benchmarks.conftest import run_once
+from repro.bench import HIGHER, record
 from repro.common.stats import geometric_mean
 from repro.experiments import figures
 
 
 def test_fig14_macro_throughput(benchmark, scale):
     values = run_once(benchmark, lambda: figures.fig14_macro_throughput(scale))
+    dp_gmean = geometric_mean(
+        [row["MorLog-DP"] / row["FWB-CRADE"] for row in values.values()]
+    )
     emit(
         "fig14_macro_throughput",
         figures.normalized_table(
             values, "Figure 14: macro throughput (normalized to FWB-CRADE)"
         ),
-    )
-    dp_gmean = geometric_mean(
-        [row["MorLog-DP"] / row["FWB-CRADE"] for row in values.values()]
+        records=[
+            record(
+                "fig14_macro_throughput",
+                "gmean_morlog_dp_vs_fwb",
+                dp_gmean,
+                unit="ratio",
+                direction=HIGHER,
+                tolerance=0.05,
+            ),
+        ],
     )
     assert dp_gmean > 1.0, "MorLog-DP must beat the baseline on macros"

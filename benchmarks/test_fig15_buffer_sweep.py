@@ -8,6 +8,7 @@ grows; the paper settles on 16 undo+redo / 32 redo entries.
 from benchmarks.bench_util import emit
 from benchmarks.conftest import run_once
 from repro.analysis.report import format_table
+from repro.bench import LOWER, record
 from repro.experiments import figures
 
 UR_SIZES = (1, 4, 16, 64)
@@ -38,6 +39,16 @@ def test_fig15_buffer_sweep(benchmark, scale):
             rows,
             "Figure 15: buffer-size sensitivity (echo, MorLog-SLDE)",
         ),
+        records=[
+            record(
+                "fig15_buffer_sweep",
+                "norm_writes_largest_ur_buffer",
+                data[(UR_SIZES[-1], REDO_SIZES[-1])][1] / base[1],
+                unit="ratio",
+                direction=LOWER,
+                tolerance=0.10,
+            ),
+        ],
     )
     # Writes must not increase as the undo+redo buffer grows.
     for redo in REDO_SIZES:

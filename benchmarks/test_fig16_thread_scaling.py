@@ -4,6 +4,7 @@
 from benchmarks.bench_util import emit
 from benchmarks.conftest import run_once
 from repro.analysis.report import format_table
+from repro.bench import HIGHER, record
 from repro.experiments import figures
 
 THREADS = (1, 2, 4, 8, 16)
@@ -23,6 +24,16 @@ def test_fig16_thread_scaling(benchmark, scale):
             rows,
             "Figure 16: normalized throughput vs thread count (micro Gmean)",
         ),
+        records=[
+            record(
+                "fig16_thread_scaling",
+                "norm_throughput_slde_max_threads",
+                data[THREADS[-1]]["MorLog-SLDE"],
+                unit="ratio",
+                direction=HIGHER,
+                tolerance=0.05,
+            ),
+        ],
     )
     for n in THREADS:
         assert data[n]["MorLog-SLDE"] >= 0.95  # never collapses below base

@@ -7,6 +7,7 @@ Paper: MorLog (with all optimizations) vs the state-of-the-art FWB-CRADE:
 from benchmarks.bench_util import emit
 from benchmarks.conftest import run_once
 from repro.analysis.report import format_table
+from repro.bench import HIGHER, record
 from repro.experiments.headline import PAPER_HEADLINE, headline_comparison
 
 
@@ -24,6 +25,17 @@ def test_headline_claims(benchmark, scale):
             "Abstract headline claims, geometric mean over %d cells" % result.cells,
             float_format="%.1f",
         ),
+        records=[
+            record(
+                "headline_claims",
+                name,
+                value,
+                unit="percent",
+                direction=HIGHER,
+                tolerance=0.15,
+            )
+            for name, value in result.as_dict().items()
+        ],
     )
     assert result.shape_holds(), (
         "a headline effect flipped sign: %s" % result.as_dict()

@@ -7,6 +7,7 @@ up, i.e. MorLog's advantage is not an artifact of one latency point.
 from benchmarks.bench_util import emit
 from benchmarks.conftest import run_once
 from repro.analysis.report import format_table
+from repro.bench import HIGHER, record
 from repro.experiments import figures
 
 SCALES = (1.0, 4.0, 16.0, 32.0)
@@ -18,6 +19,7 @@ def test_sens_nvm_latency(benchmark, scale):
     )
     designs = list(next(iter(data.values())).keys())
     rows = [[x] + [data[x][d] for d in designs] for x in SCALES]
+    ratios = [data[x]["MorLog-SLDE"] for x in SCALES]
     emit(
         "sens_nvm_latency",
         format_table(
@@ -25,6 +27,15 @@ def test_sens_nvm_latency(benchmark, scale):
             rows,
             "Section VI-E: normalized throughput vs NVMM write latency",
         ),
+        records=[
+            record(
+                "sens_nvm_latency",
+                "slde_vs_fwb_min_ratio",
+                min(ratios),
+                unit="ratio",
+                direction=HIGHER,
+                tolerance=0.05,
+            ),
+        ],
     )
-    ratios = [data[x]["MorLog-SLDE"] for x in SCALES]
     assert all(r > 0.9 for r in ratios)

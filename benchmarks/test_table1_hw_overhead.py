@@ -7,6 +7,7 @@ paper's default configuration are asserted exactly where they match.
 from benchmarks.bench_util import emit
 from benchmarks.conftest import run_once
 from repro.analysis.report import format_table
+from repro.bench import LOWER, record
 from repro.experiments import figures
 
 
@@ -16,6 +17,21 @@ def test_table1_hw_overhead(benchmark):
     emit(
         "table1_hw_overhead",
         format_table(["component", "value"], rows, "Table I + SLDE overheads"),
+        records=[
+            record(
+                "table1_hw_overhead",
+                name,
+                data[name],
+                unit=unit,
+                direction=LOWER,
+                tolerance=0.0,  # closed-form: any movement is a change
+            )
+            for name, unit in (
+                ("logic_gates", "gates"),
+                ("encode_latency_ns", "ns"),
+                ("ulog_counters_bytes", "bytes"),
+            )
+        ],
     )
     assert data["log_registers_bytes"] == 16
     assert data["ulog_counters_bytes"] == 20.0       # paper: 20 bytes

@@ -6,11 +6,25 @@ eight patterns.
 
 from benchmarks.bench_util import emit
 from benchmarks.conftest import run_once
+from repro.bench import HIGHER, record
 from repro.experiments import figures
 
 
 def test_table2_dldc_patterns(benchmark, scale):
     data = run_once(benchmark, lambda: figures.table2_patterns(scale))
-    emit("table2_dldc_patterns", figures.table2_table(data))
     compressible = sum(v for k, v in data.items() if k != "uncompressed")
+    emit(
+        "table2_dldc_patterns",
+        figures.table2_table(data),
+        records=[
+            record(
+                "table2_dldc_patterns",
+                "compressible_fraction",
+                compressible,
+                unit="fraction",
+                direction=HIGHER,
+                tolerance=0.10,
+            ),
+        ],
+    )
     assert 0.1 < compressible <= 1.0

@@ -7,6 +7,7 @@ contributes the bulk, MorLog-CRADE alone only a few percent.
 from benchmarks.bench_util import emit
 from benchmarks.conftest import run_once
 from repro.analysis.report import format_table
+from repro.bench import HIGHER, record
 from repro.experiments import figures
 
 
@@ -27,6 +28,32 @@ def test_table5_write_energy(benchmark, micro_grid_small, micro_grid_large, scal
             "Table V: NVMM write-energy reduction vs FWB-CRADE (%)",
             float_format="%.1f",
         ),
+        records=[
+            record(
+                "table5_write_energy",
+                "morlog_dp_reduction_small_percent",
+                data["Small"]["MorLog-DP"],
+                unit="percent",
+                direction=HIGHER,
+                tolerance=0.15,
+            ),
+            record(
+                "table5_write_energy",
+                "morlog_dp_reduction_large_percent",
+                data["Large"]["MorLog-DP"],
+                unit="percent",
+                direction=HIGHER,
+                tolerance=0.15,
+            ),
+            record(
+                "table5_write_energy",
+                "slde_over_crade_margin_small_percent",
+                data["Small"]["MorLog-SLDE"] - data["Small"]["MorLog-CRADE"],
+                unit="percent",
+                direction=HIGHER,
+                tolerance=0.25,
+            ),
+        ],
     )
     for label in ("Small", "Large"):
         assert data[label]["MorLog-SLDE"] > data[label]["MorLog-CRADE"]

@@ -7,6 +7,7 @@ bits than FWB-CRADE; even FWB-SLDE saves ~40 %/34 % from DLDC alone.
 from benchmarks.bench_util import emit
 from benchmarks.conftest import run_once
 from repro.analysis.report import format_table
+from repro.bench import HIGHER, record
 from repro.experiments import figures
 
 
@@ -24,6 +25,24 @@ def test_table6_log_bits(benchmark, scale):
             "Table VI: log-bit reduction vs FWB-CRADE, expansion disabled (%)",
             float_format="%.1f",
         ),
+        records=[
+            record(
+                "table6_log_bits",
+                "fwb_slde_reduction_small_percent",
+                data["Small"]["FWB-SLDE"],
+                unit="percent",
+                direction=HIGHER,
+                tolerance=0.15,
+            ),
+            record(
+                "table6_log_bits",
+                "slde_over_crade_margin_small_percent",
+                data["Small"]["MorLog-SLDE"] - data["Small"]["MorLog-CRADE"],
+                unit="percent",
+                direction=HIGHER,
+                tolerance=0.25,
+            ),
+        ],
     )
     for label in ("Small", "Large"):
         assert data[label]["FWB-SLDE"] > 0.0

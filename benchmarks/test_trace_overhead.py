@@ -9,10 +9,12 @@ time).  For context it also reports the cost of *enabled* tracing, which
 is allowed to be expensive.
 """
 
+import os
 import time
 
 from benchmarks.bench_util import emit
 from repro.analysis.report import format_table
+from repro.bench import INFO, record
 from repro.core.designs import make_system
 from repro.trace import TraceConfig
 from repro.workloads.base import WorkloadParams, make_workload
@@ -20,7 +22,10 @@ from repro.workloads.base import WorkloadParams, make_workload
 ROUNDS = 7
 TRANSACTIONS = 200
 THREADS = 2
-MAX_DISABLED_OVERHEAD = 0.02
+#: The acceptance bar.  ``TRACE_OVERHEAD_MAX`` relaxes it for CI, where
+#: shared-runner scheduling makes even paired-min wall-clock ratios
+#: noisy; the 2 % bar applies to local runs (the default).
+MAX_DISABLED_OVERHEAD = float(os.environ.get("TRACE_OVERHEAD_MAX", "0.02"))
 
 
 def _run(trace):
@@ -85,6 +90,22 @@ def test_disabled_tracing_overhead(benchmark):
             "MorLog-SLDE hash x%d tx" % (ROUNDS, TRANSACTIONS),
             float_format="%.4f",
         ),
+        records=[
+            record(
+                "trace_overhead",
+                "disabled_overhead_percent",
+                100.0 * overhead,
+                unit="percent",
+                direction=INFO,  # wall clock: host-dependent, never gates
+            ),
+            record(
+                "trace_overhead",
+                "enabled_overhead_percent",
+                100.0 * enabled_overhead,
+                unit="percent",
+                direction=INFO,
+            ),
+        ],
     )
 
     # Observation must also be inert here, not just cheap.

@@ -1,0 +1,91 @@
+"""The benchmark observatory (see docs/benchmarking.md).
+
+Turns every benchmark run into typed, schema-versioned
+:class:`~repro.bench.records.BenchRecord` values, persists them next to
+the human-readable tables and as repo-root ``BENCH_<n>.json`` trajectory
+files, classifies metric movements between trajectory points
+(:mod:`repro.bench.compare`), scores the paper-fidelity expectations
+table (:mod:`repro.bench.expectations`) and renders the markdown
+dashboard (:mod:`repro.bench.report`).  The CLI surface is
+``repro bench record|compare|gate|report``.
+"""
+
+from repro.bench.compare import (
+    IMPROVED,
+    REGRESSED,
+    SKIPPED,
+    UNCHANGED,
+    ComparisonReport,
+    MetricDelta,
+    best_of,
+    classify,
+    compare_records,
+    run_result_deltas,
+)
+from repro.bench.expectations import (
+    PAPER_EXPECTATIONS,
+    Expectation,
+    ExpectationResult,
+    evaluate_expectations,
+    scorecard_counts,
+)
+from repro.bench.records import (
+    DEFAULT_TOLERANCE,
+    HIGHER,
+    INFO,
+    LOWER,
+    RECORD_SCHEMA_VERSION,
+    BenchRecord,
+    default_config_digest,
+    host_metadata,
+    record,
+)
+from repro.bench.report import render_report
+from repro.bench.store import (
+    append_records,
+    bench_root,
+    current_run_path,
+    latest_run,
+    list_runs,
+    load_run,
+    open_run,
+    reset_current_run,
+    write_result_json,
+)
+
+__all__ = [
+    "BenchRecord",
+    "ComparisonReport",
+    "DEFAULT_TOLERANCE",
+    "Expectation",
+    "ExpectationResult",
+    "HIGHER",
+    "IMPROVED",
+    "INFO",
+    "LOWER",
+    "MetricDelta",
+    "PAPER_EXPECTATIONS",
+    "RECORD_SCHEMA_VERSION",
+    "REGRESSED",
+    "SKIPPED",
+    "UNCHANGED",
+    "append_records",
+    "bench_root",
+    "best_of",
+    "classify",
+    "compare_records",
+    "current_run_path",
+    "default_config_digest",
+    "evaluate_expectations",
+    "host_metadata",
+    "latest_run",
+    "list_runs",
+    "load_run",
+    "open_run",
+    "record",
+    "render_report",
+    "reset_current_run",
+    "run_result_deltas",
+    "scorecard_counts",
+    "write_result_json",
+]

@@ -1,0 +1,271 @@
+"""The paper-fidelity scorecard: declarative expectations vs records.
+
+Each :class:`Expectation` states, in one line, something the paper
+reports — a Figure-12 speedup direction, the Table-II pattern coverage,
+a Table-V/VI saving — as bounds on one recorded metric.  Evaluating the
+table against the latest benchmark records yields a scorecard where
+every wired paper claim is ``pass``, ``drift`` (outside the bound but
+within the slack band — the shape survived, the magnitude is eroding),
+``fail`` (the claim no longer holds on our substrate) or ``missing``
+(the benchmark has not recorded that metric yet).
+
+The bounds are *shape* bounds, not exact paper values: this reproduction
+runs orders of magnitude fewer transactions than the paper's simulator,
+so what must be preserved is the sign and rough magnitude of every
+effect, matching the assertions the benchmark suite itself makes.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bench.compare import best_of, index_records
+from repro.bench.records import BenchRecord
+
+PASS = "pass"
+DRIFT = "drift"
+FAIL = "fail"
+MISSING = "missing"
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One paper-reported claim as bounds on a recorded metric."""
+
+    id: str
+    paper: str          # the paper artifact this encodes, e.g. "Fig. 13"
+    description: str
+    benchmark: str      # record benchmark id (the emit name)
+    metric: str         # record metric name
+    low: Optional[float] = None   # inclusive lower bound, None = unbounded
+    high: Optional[float] = None  # inclusive upper bound, None = unbounded
+    slack: float = 0.0  # absolute drift band outside the bounds
+
+    def evaluate(self, value: Optional[float]) -> "ExpectationResult":
+        if value is None:
+            return ExpectationResult(self, None, MISSING)
+        shortfall = 0.0
+        if self.low is not None and value < self.low:
+            shortfall = self.low - value
+        elif self.high is not None and value > self.high:
+            shortfall = value - self.high
+        if shortfall == 0.0:
+            status = PASS
+        elif shortfall <= self.slack:
+            status = DRIFT
+        else:
+            status = FAIL
+        return ExpectationResult(self, value, status)
+
+    def bounds(self) -> str:
+        if self.low is not None and self.high is not None:
+            return "[%g, %g]" % (self.low, self.high)
+        if self.low is not None:
+            return ">= %g" % self.low
+        if self.high is not None:
+            return "<= %g" % self.high
+        return "(any)"
+
+
+@dataclass(frozen=True)
+class ExpectationResult:
+    expectation: Expectation
+    value: Optional[float]
+    status: str
+
+    def format(self) -> str:
+        value = "-" if self.value is None else "%.4f" % self.value
+        return "%-28s %-10s %-12s %s  (%s)" % (
+            self.expectation.id,
+            self.expectation.paper,
+            value,
+            self.status.upper(),
+            self.expectation.bounds(),
+        )
+
+
+#: The wired paper claims.  Benchmark/metric names match what the
+#: benchmark files emit through ``bench_util.emit(..., records=...)``.
+PAPER_EXPECTATIONS: Tuple[Expectation, ...] = (
+    Expectation(
+        id="fig3-rewrite-heavy",
+        paper="Fig. 3",
+        description="Transactions rewrite heavily: echo's first-write"
+        " fraction stays well below half (paper: 44.8% of write"
+        " distances exceed 31 on average)",
+        benchmark="fig03_write_distance",
+        metric="echo_first_write_fraction",
+        high=0.6,
+        slack=0.1,
+    ),
+    Expectation(
+        id="fig5-clean-bytes",
+        paper="Fig. 5",
+        description="A large share of transactionally updated bytes are"
+        " clean (paper average: 70.5%)",
+        benchmark="fig05_clean_bytes",
+        metric="avg_clean_bytes_percent",
+        low=40.0,
+        high=95.0,
+        slack=5.0,
+    ),
+    Expectation(
+        id="fig12a-slde-lifts",
+        paper="Fig. 12(a)",
+        description="SLDE lifts MorLog above FWB-CRADE on the small-"
+        "dataset micros (gmean throughput ratio > 1)",
+        benchmark="fig12a_micro_throughput_small",
+        metric="gmean_morlog_slde_vs_fwb",
+        low=1.0,
+        slack=0.03,
+    ),
+    Expectation(
+        id="fig12a-crade-tracks",
+        paper="Fig. 12(a)",
+        description="MorLog-CRADE tracks FWB-CRADE within a few percent"
+        " on the micros",
+        benchmark="fig12a_micro_throughput_small",
+        metric="gmean_morlog_crade_vs_fwb",
+        low=0.9,
+        high=1.2,
+        slack=0.05,
+    ),
+    Expectation(
+        id="fig12b-slde-lifts",
+        paper="Fig. 12(b)",
+        description="The SLDE lift survives the large dataset",
+        benchmark="fig12b_micro_throughput_large",
+        metric="gmean_morlog_slde_vs_fwb",
+        low=1.0,
+        slack=0.03,
+    ),
+    Expectation(
+        id="fig12b-sps-slde-shines",
+        paper="Fig. 12(b)",
+        description="SPS/large is where SLDE shines most (paper: 8.8x);"
+        " its lift over plain MorLog-CRADE is positive",
+        benchmark="fig12b_micro_throughput_large",
+        metric="sps_slde_advantage_vs_crade",
+        low=0.0,
+        slack=0.02,
+    ),
+    Expectation(
+        id="fig13-dp-cuts-traffic",
+        paper="Fig. 13",
+        description="MorLog-DP reduces NVMM write traffic vs FWB-CRADE"
+        " (paper gmean: well below 1)",
+        benchmark="fig13_write_traffic",
+        metric="gmean_morlog_dp_vs_fwb",
+        high=1.0,
+        slack=0.03,
+    ),
+    Expectation(
+        id="table2-pattern-coverage",
+        paper="Table II",
+        description="The eight DLDC patterns cover a substantial share"
+        " of dirty log data (paper: ~42.5% cumulative)",
+        benchmark="table2_dldc_patterns",
+        metric="compressible_fraction",
+        low=0.1,
+        high=1.0,
+        slack=0.05,
+    ),
+    Expectation(
+        id="table5-dp-saves-small",
+        paper="Table V",
+        description="MorLog-DP reduces NVMM write energy on the small"
+        " dataset (paper: 45.9%)",
+        benchmark="table5_write_energy",
+        metric="morlog_dp_reduction_small_percent",
+        low=0.0,
+        slack=2.0,
+    ),
+    Expectation(
+        id="table5-dp-saves-large",
+        paper="Table V",
+        description="MorLog-DP reduces NVMM write energy on the large"
+        " dataset (paper: 36.0%)",
+        benchmark="table5_write_energy",
+        metric="morlog_dp_reduction_large_percent",
+        low=0.0,
+        slack=2.0,
+    ),
+    Expectation(
+        id="table5-slde-over-crade",
+        paper="Table V",
+        description="SLDE contributes energy savings beyond plain CRADE",
+        benchmark="table5_write_energy",
+        metric="slde_over_crade_margin_small_percent",
+        low=0.0,
+        slack=1.0,
+    ),
+    Expectation(
+        id="table6-dldc-alone-saves",
+        paper="Table VI",
+        description="DLDC alone (FWB-SLDE) already cuts log bits"
+        " (paper: ~40% small / ~34% large)",
+        benchmark="table6_log_bits",
+        metric="fwb_slde_reduction_small_percent",
+        low=0.0,
+        slack=2.0,
+    ),
+    Expectation(
+        id="table6-slde-geq-crade",
+        paper="Table VI",
+        description="MorLog+SLDE never writes more log bits than the"
+        " undo+redo CRADE baseline",
+        benchmark="table6_log_bits",
+        metric="slde_over_crade_margin_small_percent",
+        low=0.0,
+        slack=0.5,
+    ),
+    Expectation(
+        id="headline-throughput",
+        paper="Abstract",
+        description="MorLog-DP improves throughput vs FWB-CRADE"
+        " (paper: +72.5%)",
+        benchmark="headline_claims",
+        metric="throughput_improvement_pct",
+        low=0.0,
+        slack=1.0,
+    ),
+    Expectation(
+        id="headline-write-traffic",
+        paper="Abstract",
+        description="MorLog-DP reduces NVMM write traffic (paper: 41.1%)",
+        benchmark="headline_claims",
+        metric="write_traffic_reduction_pct",
+        low=0.0,
+        slack=1.0,
+    ),
+    Expectation(
+        id="headline-write-energy",
+        paper="Abstract",
+        description="MorLog-DP reduces NVMM write energy (paper: 49.9%)",
+        benchmark="headline_claims",
+        metric="write_energy_reduction_pct",
+        low=0.0,
+        slack=1.0,
+    ),
+)
+
+
+def evaluate_expectations(
+    records: Iterable[BenchRecord],
+    expectations: Tuple[Expectation, ...] = PAPER_EXPECTATIONS,
+) -> List[ExpectationResult]:
+    """Score every expectation against the given record set."""
+    index = index_records(records)
+    results = []
+    for expectation in expectations:
+        key = "%s/%s" % (expectation.benchmark, expectation.metric)
+        group = index.get(key)
+        value = best_of(group).value if group else None
+        results.append(expectation.evaluate(value))
+    return results
+
+
+def scorecard_counts(results: Iterable[ExpectationResult]) -> Dict[str, int]:
+    counts = {PASS: 0, DRIFT: 0, FAIL: 0, MISSING: 0}
+    for result in results:
+        counts[result.status] += 1
+    return counts

@@ -1,0 +1,182 @@
+"""Markdown dashboard over the record store (``repro bench report``).
+
+Renders one trajectory point — by default the latest ``BENCH_<n>.json``
+— into ``benchmarks/results/REPORT.md``: the paper-fidelity scorecard
+first (that is the headline: does the reproduction still track the
+paper?), then every recorded metric grouped by benchmark, then, when a
+baseline is given, the classified comparison against it.
+"""
+
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.bench.compare import ComparisonReport, best_of, index_records
+from repro.bench.expectations import (
+    ExpectationResult,
+    evaluate_expectations,
+    scorecard_counts,
+)
+from repro.bench.records import BenchRecord
+
+_STATUS_ICON = {
+    "pass": "✅",
+    "drift": "⚠️",
+    "fail": "❌",
+    "missing": "➖",
+    "improved": "✅",
+    "regressed": "❌",
+    "unchanged": "·",
+    "skipped": "➖",
+}
+
+
+def _table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> List[str]:
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join(" --- " for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return lines
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return "%.4f" % value
+
+
+def scorecard_section(results: List[ExpectationResult]) -> List[str]:
+    counts = scorecard_counts(results)
+    lines = [
+        "## Paper-fidelity scorecard",
+        "",
+        "%d expectation(s): %d pass, %d drift, %d fail, %d missing"
+        % (
+            len(results),
+            counts["pass"],
+            counts["drift"],
+            counts["fail"],
+            counts["missing"],
+        ),
+        "",
+    ]
+    rows = []
+    for result in results:
+        e = result.expectation
+        rows.append(
+            [
+                _STATUS_ICON.get(result.status, "?") + " " + result.status,
+                e.paper,
+                e.id,
+                "-" if result.value is None else _fmt(result.value),
+                e.bounds(),
+                e.description,
+            ]
+        )
+    lines.extend(_table(
+        ["status", "paper", "expectation", "value", "bound", "claim"], rows
+    ))
+    return lines
+
+
+def records_section(records: List[BenchRecord]) -> List[str]:
+    lines = ["## Recorded metrics", ""]
+    index = index_records(records)
+    rows = []
+    for key in sorted(index):
+        rec = best_of(index[key])
+        repeats = len(index[key])
+        rows.append(
+            [
+                rec.benchmark,
+                rec.metric,
+                _fmt(rec.value),
+                rec.unit or "-",
+                rec.direction,
+                "-" if not rec.gates else "%.0f%%" % (100 * rec.effective_tolerance()),
+                repeats,
+            ]
+        )
+    lines.extend(_table(
+        ["benchmark", "metric", "value", "unit", "direction", "tolerance",
+         "repeats"],
+        rows,
+    ))
+    return lines
+
+
+def comparison_section(
+    report: ComparisonReport, baseline_name: str
+) -> List[str]:
+    lines = [
+        "## Comparison vs %s" % baseline_name,
+        "",
+        report.summary(),
+        "",
+    ]
+    rows = []
+    for delta in report.deltas:
+        rows.append(
+            [
+                _STATUS_ICON.get(delta.verdict, "?") + " " + delta.verdict,
+                delta.benchmark,
+                delta.metric,
+                _fmt(delta.baseline),
+                _fmt(delta.value),
+                ("%+.2f%%" % (100.0 * (delta.ratio - 1.0)))
+                if delta.baseline
+                else "-",
+                delta.note or "-",
+            ]
+        )
+    lines.extend(_table(
+        ["verdict", "benchmark", "metric", "baseline", "value", "delta",
+         "note"],
+        rows,
+    ))
+    return lines
+
+
+def render_report(
+    records: List[BenchRecord],
+    run_header: Optional[Dict[str, Any]] = None,
+    run_name: str = "",
+    comparison: Optional[ComparisonReport] = None,
+    baseline_name: str = "baseline",
+) -> str:
+    """The full markdown dashboard as one string."""
+    header = run_header or {}
+    lines = ["# Benchmark observatory report", ""]
+    meta = []
+    if run_name:
+        meta.append(("run", run_name))
+    started = header.get("started_unix_time")
+    if started:
+        meta.append(
+            ("started", time.strftime(
+                "%Y-%m-%d %H:%M:%S UTC", time.gmtime(started)))
+        )
+    if "scale" in header:
+        meta.append(("REPRO_SCALE", header["scale"]))
+    host = header.get("host") or {}
+    if host:
+        meta.append(
+            ("host", "%s %s, python %s, %s cpus" % (
+                host.get("platform", "?"),
+                host.get("machine", "?"),
+                host.get("python", "?"),
+                host.get("cpu_count", "?"),
+            ))
+        )
+    meta.append(("records", len(records)))
+    lines.extend(_table(["", ""], meta))
+    lines.append("")
+    lines.extend(scorecard_section(evaluate_expectations(records)))
+    lines.append("")
+    lines.extend(records_section(records))
+    if comparison is not None:
+        lines.append("")
+        lines.extend(comparison_section(comparison, baseline_name))
+    lines.append("")
+    return "\n".join(lines)

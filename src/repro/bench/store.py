@@ -1,0 +1,252 @@
+"""Persistence for benchmark records: result files and run trajectories.
+
+Two layers:
+
+- **per-benchmark files** — :func:`write_result_json` puts each
+  benchmark's records in ``benchmarks/results/<name>.json`` next to its
+  ``.txt`` table (same atomic temp-file + ``os.replace`` discipline);
+- **trajectory files** — every run rolls all its records up into one
+  repo-root ``BENCH_<n>.json`` (``n`` increments per run), so the
+  sequence of files is the repo's machine-readable perf trajectory.
+
+Trajectory appends are safe under concurrent writers: allocation uses
+``O_CREAT | O_EXCL`` (first creator wins, losers move to ``n + 1``) and
+appends serialize on a sidecar ``.lock`` file around a read–modify–
+``os.replace`` cycle, so two processes appending into the same run file
+can never tear it or drop each other's records.
+
+The directory trajectories land in is resolved by :func:`bench_root`:
+``REPRO_BENCH_DIR`` when set, else the current working directory (the
+benchmark harness passes the repo root explicitly).  A single run file
+per process is memoized by :func:`current_run_path`;
+``REPRO_BENCH_RUN_FILE`` pins it externally (CI uses this to gate on the
+exact file the suite wrote).
+"""
+
+import errno
+import json
+import os
+import re
+import tempfile
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.bench.records import (
+    RECORD_SCHEMA_VERSION,
+    BenchRecord,
+    host_metadata,
+    repro_scale,
+)
+
+#: Trajectory file name pattern, anchored at the bench root.
+TRAJECTORY_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: How long an appender waits on the sidecar lock before giving up.
+LOCK_TIMEOUT_S = 10.0
+
+
+def bench_root(root: Optional[str] = None) -> str:
+    """The directory trajectory files live in."""
+    if root is not None:
+        return root
+    return os.environ.get("REPRO_BENCH_DIR") or os.getcwd()
+
+
+def _atomic_write_json(path: str, document: Dict[str, Any]) -> None:
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix="." + os.path.basename(path) + "-", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def write_result_json(path: str, name: str, records: Iterable[BenchRecord]) -> None:
+    """Write one benchmark's records as ``<path>`` (atomic)."""
+    _atomic_write_json(
+        path,
+        {
+            "schema_version": RECORD_SCHEMA_VERSION,
+            "benchmark": name,
+            "records": [r.to_dict() for r in records],
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Trajectory files
+# ---------------------------------------------------------------------------
+
+
+def _empty_run_document() -> Dict[str, Any]:
+    return {
+        "schema_version": RECORD_SCHEMA_VERSION,
+        "run": {
+            "host": host_metadata(),
+            "scale": repro_scale(),
+            "started_unix_time": time.time(),
+        },
+        "records": [],
+    }
+
+
+def list_runs(root: Optional[str] = None) -> List[str]:
+    """Trajectory files under the bench root, oldest first (by index)."""
+    root = bench_root(root)
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return []
+    indexed = []
+    for name in names:
+        match = TRAJECTORY_PATTERN.match(name)
+        if match:
+            indexed.append((int(match.group(1)), os.path.join(root, name)))
+    return [path for _idx, path in sorted(indexed)]
+
+
+def latest_run(root: Optional[str] = None) -> Optional[str]:
+    runs = list_runs(root)
+    return runs[-1] if runs else None
+
+
+def open_run(root: Optional[str] = None) -> str:
+    """Allocate the next ``BENCH_<n>.json`` and return its path.
+
+    Creation uses ``O_CREAT | O_EXCL`` so concurrent allocators can never
+    claim the same index: whoever loses the race retries at ``n + 1``.
+    """
+    root = bench_root(root)
+    os.makedirs(root, exist_ok=True)
+    runs = list_runs(root)
+    index = 1
+    if runs:
+        index = int(TRAJECTORY_PATTERN.match(os.path.basename(runs[-1])).group(1)) + 1
+    while True:
+        path = os.path.join(root, "BENCH_%d.json" % index)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            index += 1
+            continue
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(_empty_run_document(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except BaseException:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+#: Process-wide current run file (one trajectory point per process).
+_CURRENT_RUN: Optional[str] = None
+
+
+def current_run_path(root: Optional[str] = None) -> str:
+    """The run file this process appends to, allocating it on first use.
+
+    ``REPRO_BENCH_RUN_FILE`` pins the path (created on first append if
+    missing); otherwise the first caller allocates the next index under
+    the bench root and every later caller reuses it.
+    """
+    global _CURRENT_RUN
+    pinned = os.environ.get("REPRO_BENCH_RUN_FILE")
+    if pinned:
+        return pinned
+    if _CURRENT_RUN is None or not os.path.exists(_CURRENT_RUN):
+        _CURRENT_RUN = open_run(root)
+    return _CURRENT_RUN
+
+
+def reset_current_run() -> None:
+    """Forget the memoized run file (tests and explicit new runs)."""
+    global _CURRENT_RUN
+    _CURRENT_RUN = None
+
+
+class _FileLock:
+    """A sidecar ``O_EXCL`` lock file; crashes leave a stale lock that
+    times out rather than corrupting the protected file."""
+
+    def __init__(self, path: str, timeout_s: float = LOCK_TIMEOUT_S) -> None:
+        self.lock_path = path + ".lock"
+        self.timeout_s = timeout_s
+
+    def __enter__(self) -> "_FileLock":
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            try:
+                fd = os.open(
+                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+                os.close(fd)
+                return self
+            except OSError as exc:
+                if exc.errno != errno.EEXIST:
+                    raise
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        "could not acquire %s within %.0fs (stale lock?)"
+                        % (self.lock_path, self.timeout_s)
+                    )
+                time.sleep(0.005)
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            os.unlink(self.lock_path)
+        except OSError:
+            pass
+
+
+def append_records(
+    path: str, records: Iterable[BenchRecord]
+) -> Tuple[str, int]:
+    """Append records to the trajectory file at ``path`` (lock + replace).
+
+    Creates the file if missing (pinned paths start lazily).  Returns
+    ``(path, total records now in the file)``.
+    """
+    records = list(records)
+    with _FileLock(path):
+        if os.path.exists(path):
+            with open(path) as handle:
+                document = json.load(handle)
+        else:
+            document = _empty_run_document()
+        document["records"].extend(r.to_dict() for r in records)
+        _atomic_write_json(path, document)
+        return path, len(document["records"])
+
+
+def load_run(path: str) -> Tuple[Dict[str, Any], List[BenchRecord]]:
+    """Parse a trajectory file into ``(run header, records)``.
+
+    Raises ``ValueError`` on structurally invalid documents so callers
+    (the gate) fail loudly instead of comparing garbage.
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "records" not in document:
+        raise ValueError("%s is not a trajectory file (no records)" % path)
+    version = document.get("schema_version")
+    if version != RECORD_SCHEMA_VERSION:
+        raise ValueError(
+            "%s has schema_version %r, this code reads %d"
+            % (path, version, RECORD_SCHEMA_VERSION)
+        )
+    records = [BenchRecord.from_dict(item) for item in document["records"]]
+    return document.get("run", {}), records

@@ -10,9 +10,14 @@ Commands:
 - ``fault-sweep`` — enumerate crash points and verify recovery at each.
 - ``trace`` — run one cell with event tracing, export a Chrome trace.
 - ``profile`` — run one cell under the host-side phase profiler.
+- ``bench`` — the benchmark observatory: ``record`` a cell as typed
+  BenchRecords, ``compare`` two trajectory points, ``gate`` a run
+  against the committed baseline (non-zero exit on regression), and
+  ``report`` the markdown dashboard with the paper-fidelity scorecard.
 """
 
 import argparse
+import os
 import sys
 
 from repro.analysis.report import format_table
@@ -276,6 +281,94 @@ def _parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="FILE",
         help="also write the profile summary as JSON",
     )
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="benchmark observatory: records, comparisons, gates, reports",
+    )
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+
+    br_p = bench_sub.add_parser(
+        "record", help="run one cell and record its metrics as BenchRecords"
+    )
+    br_p.add_argument("--design", default="MorLog-SLDE", choices=ALL_DESIGNS)
+    br_p.add_argument(
+        "--workload",
+        default="echo",
+        choices=MICRO_WORKLOADS + MACRO_WORKLOADS,
+    )
+    br_p.add_argument("--transactions", type=int, default=200)
+    br_p.add_argument("--threads", type=int, default=4)
+    br_p.add_argument("--large", action="store_true", help="4 KB dataset items")
+    br_p.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="trajectory directory (default: REPRO_BENCH_DIR or cwd)",
+    )
+
+    bc_p = bench_sub.add_parser(
+        "compare", help="classify metric movements between two trajectory points"
+    )
+    bc_p.add_argument(
+        "baseline", nargs="?", default=None,
+        help="baseline trajectory file (default: second-latest BENCH_*.json)",
+    )
+    bc_p.add_argument(
+        "candidate", nargs="?", default=None,
+        help="candidate trajectory file (default: latest BENCH_*.json)",
+    )
+    bc_p.add_argument(
+        "--tolerance", type=float, default=None,
+        help="override every record's relative tolerance band",
+    )
+    bc_p.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="trajectory directory (default: REPRO_BENCH_DIR or cwd)",
+    )
+
+    bg_p = bench_sub.add_parser(
+        "gate",
+        help="fail (exit 1) when the latest run regresses vs the baseline",
+    )
+    bg_p.add_argument(
+        "--baseline", default="benchmarks/BASELINE.json",
+        help="committed baseline trajectory (default: benchmarks/BASELINE.json)",
+    )
+    bg_p.add_argument(
+        "--run", default=None, metavar="FILE",
+        help="candidate trajectory (default: latest BENCH_*.json)",
+    )
+    bg_p.add_argument(
+        "--tolerance", type=float, default=None,
+        help="override every record's relative tolerance band",
+    )
+    bg_p.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="trajectory directory (default: REPRO_BENCH_DIR or cwd)",
+    )
+
+    bp_p = bench_sub.add_parser(
+        "report", help="render the markdown dashboard + paper scorecard"
+    )
+    bp_p.add_argument(
+        "--run", default=None, metavar="FILE",
+        help="trajectory to report on (default: latest BENCH_*.json)",
+    )
+    bp_p.add_argument(
+        "--out", default=os.path.join("benchmarks", "results", "REPORT.md"),
+        help="output markdown file (default: benchmarks/results/REPORT.md)",
+    )
+    bp_p.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="also include a classified comparison against this trajectory",
+    )
+    bp_p.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any paper expectation fails",
+    )
+    bp_p.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="trajectory directory (default: REPRO_BENCH_DIR or cwd)",
+    )
     return parser
 
 
@@ -400,6 +493,10 @@ def _cmd_grid(args) -> int:
 
 
 def _cmd_compare(args) -> None:
+    # The classification/ratio logic is the bench comparator's — one
+    # implementation for every diffing surface (see repro.bench.compare).
+    from repro.bench.compare import RUN_RESULT_METRICS, run_result_deltas
+
     rows = []
     baseline = None
     for design in DESIGN_NAMES:
@@ -412,17 +509,11 @@ def _cmd_compare(args) -> None:
         )
         if baseline is None:
             baseline = result
-        rows.append(
-            [
-                design,
-                result.throughput_tx_per_s / baseline.throughput_tx_per_s,
-                result.nvmm_writes / baseline.nvmm_writes,
-                result.nvmm_write_energy_pj / baseline.nvmm_write_energy_pj,
-            ]
-        )
+        deltas = run_result_deltas(design, baseline, result)
+        rows.append([design] + [d.ratio for d in deltas])
     print(
         format_table(
-            ["design", "throughput", "NVMM writes", "write energy"],
+            ["design"] + [label for _attr, label, _dir in RUN_RESULT_METRICS],
             rows,
             "%s (normalized to FWB-CRADE)" % args.workload,
         )
@@ -462,11 +553,13 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     elif args.command == "profile":
         return _cmd_profile(args)
+    elif args.command == "bench":
+        return _cmd_bench(args)
     return 0
 
 
 def _cmd_trace(args) -> int:
-    from repro.experiments.runner import run_design_traced
+    from repro.experiments.runner import run_design_system
     from repro.trace import (
         TraceConfig,
         assemble_timelines,
@@ -478,7 +571,7 @@ def _cmd_trace(args) -> int:
 
     design = _resolve_trace_design(args.design)
     dataset = DatasetSize.LARGE if args.large else DatasetSize.SMALL
-    result, bus = run_design_traced(
+    result, system = run_design_system(
         design,
         args.workload,
         dataset,
@@ -486,6 +579,7 @@ def _cmd_trace(args) -> int:
         n_threads=args.threads,
         trace=TraceConfig(enabled=True, capacity=args.limit),
     )
+    bus = system.tracer
     count = write_chrome_trace(
         args.out, bus.events, design=design, workload=args.workload
     )
@@ -506,9 +600,18 @@ def _cmd_trace(args) -> int:
     print(format_table(
         ["metric", "value"], [[k, v] for k, v in tl.items()], "transactions"
     ))
-    snapshot = metrics_snapshot(result, bus, design=design, workload=args.workload)
+    snapshot = metrics_snapshot(
+        result, bus, design=design, workload=args.workload,
+        memo=system.controller.nvm.memo_stats(),
+    )
     print("metrics snapshot: %d counters, %d trace names"
           % (len(snapshot["counters"]), len(snapshot["trace"]["bus"]["by_name"])))
+    memo = snapshot.get("memo") or {}
+    if memo:
+        hits = sum(c["hits"] for c in memo.values())
+        misses = sum(c["misses"] for c in memo.values())
+        print("codec memo: %d hits / %d misses over %d cache(s)"
+              % (hits, misses, len(memo)))
     return 0
 
 
@@ -620,6 +723,207 @@ def _cmd_fault_sweep(args) -> int:
         )
     )
     return 1 if failed else 0
+
+
+def _cmd_bench(args) -> int:
+    if args.bench_command == "record":
+        return _cmd_bench_record(args)
+    if args.bench_command == "compare":
+        return _cmd_bench_compare(args)
+    if args.bench_command == "gate":
+        return _cmd_bench_gate(args)
+    return _cmd_bench_report(args)
+
+
+def _cmd_bench_record(args) -> int:
+    from repro.bench import (
+        HIGHER,
+        LOWER,
+        append_records,
+        current_run_path,
+        record,
+    )
+    from repro.experiments.runner import run_design_system
+    from repro.experiments.serialize import (
+        config_to_dict,
+        params_to_dict,
+        stable_hash,
+        strip_result_inert_encoding,
+    )
+    from repro.experiments.runner import default_config, resolve_params
+    from repro.trace import metrics_snapshot
+
+    dataset = DatasetSize.LARGE if args.large else DatasetSize.SMALL
+    result, system = run_design_system(
+        args.design,
+        args.workload,
+        dataset,
+        n_threads=args.threads,
+        n_transactions=args.transactions,
+    )
+    # The digest covers everything that shapes this cell's absolute
+    # numbers, so `bench compare` never pairs incompatible measurements.
+    digest = stable_hash(
+        {
+            "config": strip_result_inert_encoding(
+                config_to_dict(default_config())
+            ),
+            "design": args.design,
+            "params": params_to_dict(resolve_params(None, dataset)),
+            "threads": args.threads,
+            "transactions": args.transactions,
+            "workload": args.workload,
+        }
+    )
+    benchmark = "cell/%s/%s" % (args.design, args.workload)
+    snapshot = metrics_snapshot(
+        result,
+        design=args.design,
+        workload=args.workload,
+        memo=system.controller.nvm.memo_stats(),
+    )
+    records = [
+        record(
+            benchmark, "throughput_tx_per_s", result.throughput_tx_per_s,
+            unit="tx/s", direction=HIGHER, config_digest=digest,
+            attachments={"metrics_snapshot": snapshot},
+        ),
+        record(
+            benchmark, "nvmm_writes", float(result.nvmm_writes),
+            unit="writes", direction=LOWER, config_digest=digest,
+        ),
+        record(
+            benchmark, "nvmm_write_energy_pj", result.nvmm_write_energy_pj,
+            unit="pJ", direction=LOWER, config_digest=digest,
+        ),
+        record(
+            benchmark, "log_bits", float(result.log_bits),
+            unit="bits", direction=LOWER, config_digest=digest,
+        ),
+    ]
+    path, total = append_records(current_run_path(args.dir), records)
+    rows = [[r.metric, r.value, r.unit, r.direction] for r in records]
+    print(format_table(["metric", "value", "unit", "direction"], rows,
+                       "%s (recorded)" % benchmark))
+    print("%d record(s) appended to %s (%d total)" % (len(records), path, total))
+    return 0
+
+
+def _resolve_trajectories(args):
+    """(baseline_path, candidate_path) for ``bench compare``."""
+    from repro.bench import list_runs
+
+    baseline, candidate = args.baseline, args.candidate
+    if baseline is None or candidate is None:
+        runs = list_runs(args.dir)
+        if candidate is None:
+            if not runs:
+                raise SystemExit("no BENCH_*.json trajectory files found")
+            candidate = runs[-1]
+        if baseline is None:
+            earlier = [r for r in runs if r != candidate]
+            if not earlier:
+                raise SystemExit(
+                    "need two trajectory points to compare (found only %s)"
+                    % candidate
+                )
+            baseline = earlier[-1]
+    return baseline, candidate
+
+
+def _print_comparison(report, baseline_name: str, candidate_name: str) -> None:
+    print("baseline:  %s" % baseline_name)
+    print("candidate: %s" % candidate_name)
+    for delta in report.deltas:
+        print(delta.format() + ("  [%s]" % delta.note if delta.note else ""))
+    print(report.summary())
+
+
+def _cmd_bench_compare(args) -> int:
+    from repro.bench import compare_records, load_run
+
+    baseline_path, candidate_path = _resolve_trajectories(args)
+    _header, baseline = load_run(baseline_path)
+    _header, candidate = load_run(candidate_path)
+    report = compare_records(
+        baseline, candidate, tolerance_override=args.tolerance
+    )
+    _print_comparison(report, baseline_path, candidate_path)
+    return 0
+
+
+def _cmd_bench_gate(args) -> int:
+    from repro.bench import compare_records, latest_run, load_run
+
+    if not os.path.exists(args.baseline):
+        print("gate: baseline %s does not exist (refresh it per"
+              " docs/benchmarking.md)" % args.baseline)
+        return 2
+    run_path = args.run or latest_run(args.dir)
+    if run_path is None:
+        print("gate: no BENCH_*.json trajectory to check")
+        return 2
+    _header, baseline = load_run(args.baseline)
+    _header, candidate = load_run(run_path)
+    report = compare_records(
+        baseline, candidate, tolerance_override=args.tolerance
+    )
+    _print_comparison(report, args.baseline, run_path)
+    compared = [d for d in report.deltas if d.verdict != "skipped"]
+    if not compared:
+        print("gate: FAIL — no comparable metrics (config/scale mismatch"
+              " with the baseline?)")
+        return 1
+    if report.regressions:
+        print("gate: FAIL — %d metric(s) regressed beyond tolerance:"
+              % len(report.regressions))
+        for delta in report.regressions:
+            print("  " + delta.format())
+        return 1
+    print("gate: PASS (%d metric(s) compared)" % len(compared))
+    return 0
+
+
+def _cmd_bench_report(args) -> int:
+    from repro.bench import (
+        compare_records,
+        evaluate_expectations,
+        latest_run,
+        load_run,
+        render_report,
+        scorecard_counts,
+    )
+
+    run_path = args.run or latest_run(args.dir)
+    if run_path is None:
+        print("report: no BENCH_*.json trajectory to report on")
+        return 2
+    header, records = load_run(run_path)
+    comparison = baseline_name = None
+    if args.baseline:
+        _bheader, baseline = load_run(args.baseline)
+        comparison = compare_records(baseline, records)
+        baseline_name = args.baseline
+    text = render_report(
+        records,
+        run_header=header,
+        run_name=os.path.basename(run_path),
+        comparison=comparison,
+        baseline_name=baseline_name or "baseline",
+    )
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w") as fh:
+        fh.write(text)
+    counts = scorecard_counts(evaluate_expectations(records))
+    print("report written to %s (%d records)" % (args.out, len(records)))
+    print("scorecard: %d pass, %d drift, %d fail, %d missing" % (
+        counts["pass"], counts["drift"], counts["fail"], counts["missing"]
+    ))
+    if args.strict and counts["fail"]:
+        return 1
+    return 0
 
 
 def _cmd_record(args) -> None:

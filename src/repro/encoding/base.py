@@ -102,6 +102,18 @@ class WordCodec:
     def decode(self, encoded: EncodedWord, old_word: Optional[int] = None) -> int:
         raise NotImplementedError
 
+    def memo_stats(self) -> dict:
+        """Hit/miss/eviction counters of this codec's memo layer(s).
+
+        Keys are memo names (canonically sorted), values the dicts from
+        :meth:`repro.encoding.memo.LruMemo.stats`.  Codecs without a
+        memo — or with memoization disabled — report ``{}``.  Simple
+        memoizing codecs report their result cache under ``"encode"``;
+        composite codecs (SLDE) prefix their members' keys.
+        """
+        memo = getattr(self, "_memo", None)
+        return {"encode": memo.stats()} if memo is not None else {}
+
 
 class RawCodec(WordCodec):
     """No compression: 64 payload bits, raw 3-bits-per-cell mapping."""

@@ -71,7 +71,7 @@ class LruMemo:
     None is not a legal value (``get`` uses it as the miss sentinel).
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "_data")
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_data")
 
     def __init__(self, maxsize: int = DEFAULT_MEMO_ENTRIES) -> None:
         if maxsize <= 0:
@@ -79,6 +79,7 @@ class LruMemo:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
 
     def get(self, key: Hashable) -> Any:
@@ -99,6 +100,7 @@ class LruMemo:
         data.move_to_end(key)
         if len(data) > self.maxsize:
             data.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
         self._data.clear()
@@ -107,12 +109,18 @@ class LruMemo:
         return len(self._data)
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/size counters (diagnostics; not part of run results)."""
+        """Hit/miss/eviction/size counters, canonically (key-)ordered.
+
+        Diagnostics only — never part of run results (memoization is
+        result-inert), but surfaced through ``metrics_snapshot``'s
+        ``memo`` key so benchmark records capture cache effectiveness.
+        """
         return {
-            "hits": self.hits,
-            "misses": self.misses,
             "entries": len(self._data),
+            "evictions": self.evictions,
+            "hits": self.hits,
             "maxsize": self.maxsize,
+            "misses": self.misses,
         }
 
 

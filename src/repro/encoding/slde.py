@@ -77,6 +77,21 @@ class SldeCodec(WordCodec):
     def dldc(self) -> DldcCodec:
         return self._dldc
 
+    def memo_stats(self) -> dict:
+        """All of SLDE's memo layers, member keys prefixed, sorted."""
+        stats = {}
+        if self._log_memo is not None:
+            stats["log"] = self._log_memo.stats()
+        if self._pair_memo is not None:
+            stats["pair"] = self._pair_memo.stats()
+        for prefix, codec in (
+            ("alternative", self._alternative),
+            ("dldc", self._dldc),
+        ):
+            for name, counters in codec.memo_stats().items():
+                stats["%s.%s" % (prefix, name)] = counters
+        return dict(sorted(stats.items()))
+
     def encode(self, word: int, old_word: Optional[int] = None) -> EncodedWord:
         """Non-log data bypass DLDC and use the alternative codec."""
         return self._alternative.encode(word, old_word)

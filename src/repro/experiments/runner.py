@@ -116,6 +116,30 @@ def run_design_traced(
     trace=None,
 ):
     """Like :func:`run_design` but returns ``(RunResult, bus_or_None)``."""
+    result, system = run_design_system(
+        design, workload_name, dataset, scale, config, params,
+        n_threads, n_transactions, trace,
+    )
+    return result, system.tracer
+
+
+def run_design_system(
+    design: str,
+    workload_name: str,
+    dataset: DatasetSize = DatasetSize.SMALL,
+    scale: Optional[ExperimentScale] = None,
+    config: Optional[SystemConfig] = None,
+    params: Optional[WorkloadParams] = None,
+    n_threads: Optional[int] = None,
+    n_transactions: Optional[int] = None,
+    trace=None,
+):
+    """Run one cell and return ``(RunResult, System)``.
+
+    The system gives callers the post-run machine state the result alone
+    cannot: the trace bus, and host-side diagnostics such as the codec
+    memo counters (``system.controller.nvm.memo_stats()``).
+    """
     scale = scale or ExperimentScale()
     config = config if config is not None else default_config()
     params = resolve_params(params, dataset)
@@ -127,7 +151,7 @@ def run_design_traced(
         n_transactions or scale.transactions(macro, dataset),
         n_threads or scale.threads(macro),
     )
-    return result, system.tracer
+    return result, system
 
 
 def run_grid(

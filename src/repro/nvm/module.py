@@ -109,6 +109,20 @@ class NvmModule:
         if isinstance(self.log_codec, SldeCodec):
             self.log_codec.decision_hook = self._emit_slde_decision
 
+    def memo_stats(self) -> dict:
+        """Codec-memo counters for both codecs, canonically ordered.
+
+        ``{"data.<memo>": counters, "log.<memo>": counters}`` — empty
+        when memoization is disabled.  Surfaced by ``metrics_snapshot``
+        under its ``memo`` key so bench records capture cache
+        effectiveness alongside throughput.
+        """
+        stats = {}
+        for prefix, codec in (("data", self.data_codec), ("log", self.log_codec)):
+            for name, counters in codec.memo_stats().items():
+                stats["%s.%s" % (prefix, name)] = counters
+        return dict(sorted(stats.items()))
+
     def _emit_slde_decision(
         self, word, chosen, chosen_bits, rejected, rejected_bits, silent
     ) -> None:

@@ -39,8 +39,16 @@ def metrics_snapshot(
     bus: Optional[TraceBus] = None,
     design: str = "",
     workload: str = "",
+    memo: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """One stable dict describing a run (counters, derived, trace)."""
+    """One stable dict describing a run (counters, derived, trace).
+
+    ``memo`` takes the dict from :meth:`repro.nvm.module.NvmModule.
+    memo_stats` (codec-memo hit/miss/eviction counters); it lands under
+    the ``memo`` key with canonical key order.  Memo counters are host-
+    visible diagnostics, not simulated results, so they appear only when
+    the caller opts in.
+    """
     snapshot: Dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
         "design": design,
@@ -55,6 +63,11 @@ def metrics_snapshot(
             "throughput_tx_per_s": result.throughput_tx_per_s,
         },
     }
+    if memo is not None:
+        snapshot["memo"] = {
+            name: dict(sorted(counters.items()))
+            for name, counters in sorted(memo.items())
+        }
     if bus is not None:
         timelines = assemble_timelines(bus.events)
         durations = [
