@@ -50,7 +50,7 @@ def _resolve_trace_design(name: str) -> str:
     return full
 from repro.experiments import figures
 from repro.experiments.runner import ExperimentScale, default_config, run_design
-from repro.workloads.base import DatasetSize, MACRO_WORKLOADS, MICRO_WORKLOADS, WorkloadParams, make_workload
+from repro.workloads.base import DatasetSize, MACRO_WORKLOADS, MICRO_WORKLOADS
 
 FIGURES = {
     "fig3": lambda scale: figures.fig3_table(figures.fig3_write_distance(scale)),
@@ -168,20 +168,29 @@ def _parser() -> argparse.ArgumentParser:
 
     sub.add_parser("overhead", help="print Table I")
 
-    rec_p = sub.add_parser("record", help="capture a workload's trace")
-    rec_p.add_argument("out", help="output trace file (JSON lines)")
+    rec_p = sub.add_parser(
+        "record", help="record a workload's store stream into a trace"
+    )
+    rec_p.add_argument("out", help="output trace container (.mltr)")
     rec_p.add_argument(
         "--workload",
         default="queue",
         choices=MICRO_WORKLOADS + MACRO_WORKLOADS,
     )
+    rec_p.add_argument("--design", default="MorLog-SLDE", choices=ALL_DESIGNS)
     rec_p.add_argument("--transactions", type=int, default=100)
     rec_p.add_argument("--threads", type=int, default=2)
 
-    rep_p = sub.add_parser("replay", help="replay a captured trace")
-    rep_p.add_argument("trace", help="trace file to replay")
+    rep_p = sub.add_parser(
+        "replay", help="replay a recorded trace under any design"
+    )
+    rep_p.add_argument("trace", help="trace container to replay")
     rep_p.add_argument("--design", default="MorLog-SLDE", choices=ALL_DESIGNS)
-    rep_p.add_argument("--threads", type=int, default=2)
+    rep_p.add_argument(
+        "--no-prewarm",
+        action="store_true",
+        help="skip the vectorized codec prewarm (results are identical)",
+    )
 
     fs_p = sub.add_parser(
         "fault-sweep",
@@ -927,26 +936,34 @@ def _cmd_bench_report(args) -> int:
 
 
 def _cmd_record(args) -> None:
-    from repro.analysis.trace_io import RecordingWorkload, save_trace
+    from repro.replay import record_trace, save_trace
 
-    system = make_system("MorLog-SLDE", default_config())
-    recorder = RecordingWorkload(
-        make_workload(args.workload, None)
+    trace, _result, _system = record_trace(
+        args.design,
+        args.workload,
+        n_transactions=args.transactions,
+        n_threads=args.threads,
     )
-    system.run(recorder, args.transactions, n_threads=args.threads)
-    count = save_trace(args.out, recorder.ops)
-    print("wrote %d trace ops (%d transactions) to %s"
-          % (count, args.transactions, args.out))
+    digest = save_trace(args.out, trace)
+    print(
+        "wrote %d transactions (%d ops, %d store pairs, %d setup stores) to %s"
+        % (
+            trace.n_transactions,
+            trace.n_ops,
+            trace.pair_old.size,
+            trace.setup_addr.size,
+            args.out,
+        )
+    )
+    print("trace digest: %s" % digest)
 
 
 def _cmd_replay(args) -> None:
-    from repro.analysis.trace_io import TraceWorkload, load_trace
+    from repro.replay import load_trace, replay_trace
 
-    ops = load_trace(args.trace)
-    workload = TraceWorkload(ops)
+    trace = load_trace(args.trace)
     system = make_system(args.design, default_config())
-    n = workload.total_transactions()
-    result = system.run(workload, n, n_threads=args.threads)
+    result = replay_trace(system, trace, prewarm=not args.no_prewarm)
     rows = [
         ["replayed transactions", result.transactions],
         ["throughput (tx/s)", result.throughput_tx_per_s],

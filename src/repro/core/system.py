@@ -124,6 +124,10 @@ class System:
         # Optional analysis tap: object with on_tx_store(tid, txid, addr,
         # old, new) (see repro.analysis.trace).
         self.trace = None
+        # Optional replay-recording tap: object with on_setup_store /
+        # on_tx_dispatch / on_tx_store plus the TxContext op hooks
+        # (see repro.replay.recorder.TraceRecorder).
+        self.recorder = None
         # Optional crash hook called before every transactional store
         # (temporal and non-temporal) and before every commit sequence.
         self.crash_hook: Optional[Callable[[], None]] = None
@@ -208,6 +212,8 @@ class System:
                 self.crash_plan.fire("tx-store", txid=tx.txid, addr=addr)
             if self.trace is not None:
                 self.trace.on_tx_store(tx.tid, tx.txid, addr, old, value)
+            if self.recorder is not None:
+                self.recorder.on_tx_store(addr, old, value)
             tx.n_stores += 1
             now = self.logger.on_store(tx, line, index, old, value, now)
             if self._tx_table:
@@ -235,9 +241,12 @@ class System:
                 self.crash_plan.fire("tx-nt-store", txid=tx.txid, addr=addr)
             # Keep any cached copy coherent before bypassing the caches.
             now = self.hierarchy.flush_line(addr, now)
-            if self.trace is not None:
+            if self.trace is not None or self.recorder is not None:
                 old = self.controller.nvm.array.read_logical(addr)
-                self.trace.on_tx_store(tx.tid, tx.txid, addr, old, value)
+                if self.trace is not None:
+                    self.trace.on_tx_store(tx.tid, tx.txid, addr, old, value)
+                if self.recorder is not None:
+                    self.recorder.on_tx_store(addr, old, value)
             tx.n_stores += 1
             now = self.logger.on_nt_store(tx, addr, value, now)
             self._nt_staging.setdefault((tx.tid, tx.txid), {})[addr] = value
@@ -349,6 +358,8 @@ class System:
 
     def setup_store(self, addr: int, value: int) -> None:
         """Install a word during workload setup, bypassing measurement."""
+        if self.recorder is not None:
+            self.recorder.on_setup_store(addr, value)
         if self.controller.is_persistent(addr):
             self.controller.nvm.array.write_logical(addr, value)
         else:
@@ -370,12 +381,14 @@ class System:
         (trace, crash hook, crash plan) survive the rebuild.
         """
         trace = self.trace
+        recorder = self.recorder
         crash_hook = self.crash_hook
         crash_plan = self.crash_plan
         tracer = self.tracer
         trace_config = self.trace_config
         self.__init__(self.config, self._logger_factory, self.design_name)
         self.trace = trace
+        self.recorder = recorder
         self.crash_hook = crash_hook
         self.trace_config = trace_config
         if crash_plan is not None:
@@ -482,6 +495,8 @@ class System:
         while dispatched < n_transactions:
             core = min(range(n_threads), key=self.core_time_ns.__getitem__)
             body = workload.transaction(core)
+            if self.recorder is not None:
+                self.recorder.on_tx_dispatch(core)
             self.run_transaction(core, body)
             dispatched += 1
         # Measurement ends here: the paper measures N transactions of

@@ -33,19 +33,30 @@ class TxContext:
         """Load the 64-bit word at ``addr`` (must be word aligned)."""
         if addr % WORD_BYTES:
             raise ValueError("unaligned load at %#x" % addr)
+        recorder = self._system.recorder
+        if recorder is not None:
+            recorder.on_load(addr)
         return self._system.load_word(self.core, addr)
 
     def store(self, addr: int, value: int) -> None:
         """Store a 64-bit word; logged when inside a transaction."""
         if addr % WORD_BYTES:
             raise ValueError("unaligned store at %#x" % addr)
-        self._system.store_word(self.core, addr, mask_word(value))
+        value = mask_word(value)
+        recorder = self._system.recorder
+        if recorder is not None:
+            recorder.on_store(addr, value)
+        self._system.store_word(self.core, addr, value)
 
     def store_nt(self, addr: int, value: int) -> None:
         """Non-temporal store (cache-bypassing, like ``movntq``)."""
         if addr % WORD_BYTES:
             raise ValueError("unaligned store at %#x" % addr)
-        self._system.store_word_nt(self.core, addr, mask_word(value))
+        value = mask_word(value)
+        recorder = self._system.recorder
+        if recorder is not None:
+            recorder.on_store_nt(addr, value)
+        self._system.store_word_nt(self.core, addr, value)
 
     # ------------------------------------------------------------------
     # Convenience helpers
@@ -64,4 +75,7 @@ class TxContext:
 
     def compute(self, cycles: int) -> None:
         """Model non-memory work between accesses."""
+        recorder = self._system.recorder
+        if recorder is not None:
+            recorder.on_compute(cycles)
         self._system.advance(self.core, cycles)

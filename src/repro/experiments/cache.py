@@ -59,6 +59,7 @@ def cell_key_fields(
     n_transactions: int,
     n_threads: int,
     repro_scale: float,
+    trace_digest: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The exact dict that is hashed into a cache key.
 
@@ -66,9 +67,14 @@ def cell_key_fields(
     :data:`repro.experiments.serialize.RESULT_INERT_ENCODING_FIELDS`) are
     dropped here: memoization cannot change a cell's result, so toggling
     it must map to the same key.
+
+    ``trace_digest`` identifies the recorded trace a *replay* cell runs
+    from (:meth:`repro.replay.StoreTrace.digest`); it joins the key only
+    when set, so direct-run cells keep their historical keys, while any
+    edit to a trace — content, metadata or container version — misses.
     """
     config_dict = strip_result_inert_encoding(config_dict)
-    return {
+    fields = {
         "version": CACHE_VERSION,
         "design": design,
         "workload": workload,
@@ -79,6 +85,9 @@ def cell_key_fields(
         "n_threads": n_threads,
         "repro_scale": repro_scale,
     }
+    if trace_digest is not None:
+        fields["trace_digest"] = trace_digest
+    return fields
 
 
 def cell_key(

@@ -58,6 +58,11 @@ class CellSpec:
     n_transactions: int
     n_threads: int
     repro_scale: float
+    # Replay cells (see repro.replay): the trace container to drive the
+    # cell from instead of re-running the workload, plus its content
+    # digest, which joins the cache key so an edited trace misses.
+    replay_trace_path: Optional[str] = None
+    trace_digest: Optional[str] = None
 
     def key_fields(self) -> Dict[str, Any]:
         return cell_key_fields(
@@ -69,6 +74,7 @@ class CellSpec:
             self.n_transactions,
             self.n_threads,
             self.repro_scale,
+            trace_digest=self.trace_digest,
         )
 
     def key(self) -> str:
@@ -110,6 +116,55 @@ def resolve_cell(
     )
 
 
+def resolve_replay_cell(
+    design: str,
+    trace_path: str,
+    config=None,
+) -> CellSpec:
+    """Resolve a replay cell: ``design`` scoring a recorded trace.
+
+    Workload identity, thread count and transaction count come from the
+    trace's own metadata; the trace digest joins the cache key, so
+    replaying an edited trace can never replay a stale result.
+    """
+    from repro.experiments.runner import _scale, default_config
+    from repro.replay import load_trace
+
+    trace = load_trace(trace_path)
+    meta = trace.meta
+    provenance = meta.get("provenance", {})
+    config = config if config is not None else default_config()
+    return CellSpec(
+        design=design,
+        workload=provenance.get("workload", "trace"),
+        dataset=DatasetSize[provenance.get("dataset", "SMALL")],
+        config_dict=config_to_dict(config),
+        params_dict={},
+        n_transactions=trace.n_transactions,
+        n_threads=trace.n_threads,
+        repro_scale=_scale(),
+        replay_trace_path=os.path.abspath(trace_path),
+        trace_digest=trace.digest(),
+    )
+
+
+def _run_replay_payload(payload: Dict[str, Any], started: float) -> Dict[str, Any]:
+    """Replay-cell worker body: drive the design from the recorded trace."""
+    from repro.core.designs import make_system
+    from repro.experiments.serialize import config_from_dict
+    from repro.replay import load_trace, replay_trace
+
+    system = make_system(
+        payload["design"], config_from_dict(payload["config_dict"])
+    )
+    result = replay_trace(system, load_trace(payload["replay_trace_path"]))
+    return {
+        "result": run_result_to_dict(result),
+        "seconds": time.perf_counter() - started,
+        "trace_path": None,
+    }
+
+
 def _run_cell_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Worker entry point: simulate one cell from its serialized spec.
 
@@ -126,6 +181,8 @@ def _run_cell_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     from repro.experiments.runner import run_design_traced
 
     started = time.perf_counter()
+    if payload.get("replay_trace_path") is not None:
+        return _run_replay_payload(payload, started)
     trace_path = payload.get("trace_path")
     trace = None
     if trace_path is not None:
@@ -168,6 +225,7 @@ def _payload(spec: CellSpec, trace_path: Optional[str] = None) -> Dict[str, Any]
         "n_transactions": spec.n_transactions,
         "n_threads": spec.n_threads,
         "trace_path": trace_path,
+        "replay_trace_path": spec.replay_trace_path,
     }
 
 

@@ -249,25 +249,47 @@ def _drive(
     tracker: WriteSetTracker,
     plan: CrashPlan,
     options: SweepOptions,
+    trace=None,
 ) -> None:
     """Run the workload with ``plan`` installed, mirroring System.run.
 
     The plan goes in only after setup (setup stores are untimed and
     unlogged, hence crash-free by construction).  Raises CrashInjected or
     _SweepAbort out of the loop; normal completion returns None.
+
+    ``trace`` (a :class:`repro.replay.StoreTrace`) swaps the workload for
+    a recorded store stream: setup replays the trace's setup stores and
+    the loop dispatches the recorded transactions on their recorded
+    cores.  A trace recorded from the same (design-config, workload,
+    seed) cell produces the identical sweep — same fired events, same
+    verdict (pinned in tests/test_replay_differential.py).
     """
-    workload.setup(system, options.threads)
+    bodies = cores = None
+    if trace is None:
+        workload.setup(system, options.threads)
+        limit = options.transactions
+    else:
+        from repro.replay.replayer import apply_trace_setup, trace_transaction_bodies
+
+        apply_trace_setup(system, trace)
+        bodies = trace_transaction_bodies(trace)
+        cores = trace.tx_core.tolist()
+        limit = min(options.transactions, len(bodies))
     system.reset_measurement()
     system._active_threads = options.threads
     system.trace = tracker
     system.install_crash_plan(plan)
     try:
         dispatched = 0
-        while dispatched < options.transactions:
-            core = min(
-                range(options.threads), key=system.core_time_ns.__getitem__
-            )
-            body = workload.transaction(core)
+        while dispatched < limit:
+            if bodies is None:
+                core = min(
+                    range(options.threads), key=system.core_time_ns.__getitem__
+                )
+                body = workload.transaction(core)
+            else:
+                core = cores[dispatched]
+                body = bodies[dispatched]
             tx = system.begin_tx(core)
             try:
                 body(system.contexts[core])
@@ -291,21 +313,27 @@ def _select_indices(options: SweepOptions, total: int) -> Optional[Set[int]]:
     return set(rng.sample(range(1, total + 1), options.budget))
 
 
-def run_sweep(design: str, options: SweepOptions = SweepOptions()) -> SweepResult:
-    """Sweep every (or a budgeted subset of) crash points for one design."""
+def run_sweep(
+    design: str, options: SweepOptions = SweepOptions(), trace=None
+) -> SweepResult:
+    """Sweep every (or a budgeted subset of) crash points for one design.
+
+    ``trace`` drives both passes from a recorded store stream instead of
+    re-running the workload (see :func:`_drive`).
+    """
     selected: Optional[Set[int]] = None
     if options.budget > 0:
         # Counting pre-pass: the run is deterministic, so the event total
         # (and each index's meaning) carries over to the sweep pass.
         system, workload, tracker = _build(design, options)
         counter = CountingPlan()
-        _drive(system, workload, tracker, counter, options)
+        _drive(system, workload, tracker, counter, options, trace=trace)
         selected = _select_indices(options, counter.fired)
 
     system, workload, tracker = _build(design, options)
     plan = _SweepPlan(system, tracker, selected, options.verify_decode)
     try:
-        _drive(system, workload, tracker, plan, options)
+        _drive(system, workload, tracker, plan, options, trace=trace)
     except _SweepAbort:
         pass
 

@@ -17,7 +17,13 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
-from repro.common.bitops import WORD_BYTES, align_down, mask_word, split_cells
+from repro.common.bitops import (
+    WORD_BYTES,
+    WORD_MASK,
+    align_down,
+    mask_word,
+    split_cells,
+)
 from repro.common.config import NVMConfig
 from repro.common.stats import StatGroup
 from repro.encoding.base import EncodedWord
@@ -39,7 +45,7 @@ _METHOD_IDS = {"raw": 0, "fpc": 1, "crade": 2, "dldc": 3, "flip-n-write": 4, "sl
 _POLICY_IDS = {ExpansionPolicy.RAW: 0, ExpansionPolicy.EXPAND2: 1, ExpansionPolicy.EXPAND1: 2}
 
 
-@dataclass
+@dataclass(slots=True)
 class StoredWord:
     """Physical state of one word slot."""
 
@@ -50,7 +56,13 @@ class StoredWord:
 
     @staticmethod
     def pristine() -> "StoredWord":
-        return StoredWord(0, (0,) * CELLS_PER_WORD, (0,) * TAG_CELLS, None)
+        # Slot updates replace the cell tuples wholesale (tuples are
+        # immutable), so every pristine slot can share these constants.
+        return StoredWord(0, _PRISTINE_DATA_CELLS, _PRISTINE_TAG_CELLS, None)
+
+
+_PRISTINE_DATA_CELLS = (0,) * CELLS_PER_WORD
+_PRISTINE_TAG_CELLS = (0,) * TAG_CELLS
 
 
 @dataclass(frozen=True)
@@ -182,6 +194,39 @@ class NvmArray:
                 slot = self._words.get(waddr)
                 self._journal[waddr] = slot.logical if slot is not None else None
         self._slot(addr).logical = mask_word(value)
+
+    def bulk_write_logical(self, addrs, values) -> None:
+        """Install many logical words at once (trace-replay setup path).
+
+        Semantically ``write_logical`` in a loop, with the per-call
+        aligning/journal/dict overhead hoisted out; replaying a recorded
+        setup image is pure data movement, so this is the hot path of
+        :func:`repro.replay.replayer.apply_trace_setup`.
+        """
+        align = ~(WORD_BYTES - 1)
+        if not self._words and self._journal is None:
+            # Empty array (a freshly reset machine): build the slot map
+            # in one comprehension.  Duplicate addresses keep the last
+            # value, same as sequential writes.
+            self._words = {
+                addr & align: StoredWord(
+                    value & WORD_MASK, _PRISTINE_DATA_CELLS, _PRISTINE_TAG_CELLS, None
+                )
+                for addr, value in zip(addrs, values)
+            }
+            return
+        if self._journal is not None:
+            for addr, value in zip(addrs, values):
+                self.write_logical(addr, value)
+            return
+        words = self._words
+        for addr, value in zip(addrs, values):
+            waddr = addr & align
+            slot = words.get(waddr)
+            if slot is None:
+                slot = StoredWord.pristine()
+                words[waddr] = slot
+            slot.logical = value & WORD_MASK
 
     @contextmanager
     def journaled_logical_writes(self):

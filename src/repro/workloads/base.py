@@ -136,6 +136,25 @@ class Workload:
     def value_words(self, rng: random.Random, count: int) -> List[int]:
         return [self.value_word(rng) for _ in range(count)]
 
+    # -- recording ---------------------------------------------------------
+
+    def trace_provenance(self) -> Dict[str, object]:
+        """Identity stamped into a recorded trace's metadata.
+
+        The recorder (:mod:`repro.replay.recorder`) writes this into the
+        trace header, so a replayed cell can state — and the cache key
+        can hash — which workload and parameters produced the stream.
+        """
+        return {
+            "workload": self.name,
+            "dataset": self.params.dataset.name,
+            "initial_items": self.params.initial_items,
+            "key_space": self.params.key_space,
+            "seed": self.params.seed,
+            "zero_fraction": self.params.zero_fraction,
+            "small_fraction": self.params.small_fraction,
+        }
+
 
 # Registries used by the experiment harness.
 MICRO_WORKLOADS = ("btree", "hash", "queue", "rbtree", "sdg", "sps")

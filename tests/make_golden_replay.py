@@ -1,0 +1,37 @@
+"""Regenerate tests/golden/replay_trace.json.
+
+Run after an *intended* change to the recorder's capture points, the
+trace container format, the canonical cell's workload stream, or the
+simulated timing/stats it produces:
+
+    PYTHONPATH=src python tests/make_golden_replay.py
+
+Review the diff before committing — the golden file is the contract
+that record -> replay keeps producing the same bits across sessions.
+"""
+
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, _HERE)
+sys.path.insert(0, os.path.join(_HERE, os.pardir))
+sys.path.insert(0, os.path.join(_HERE, os.pardir, "src"))
+
+from test_replay_differential import GOLDEN_PATH, make_golden_document
+
+
+def main() -> None:
+    document = json.loads(json.dumps(make_golden_document(), sort_keys=True))
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(document, fh, sort_keys=True, indent=1)
+        fh.write("\n")
+    print("wrote %s (digest %s, %d transactions)" % (
+        GOLDEN_PATH, document["digest"], document["n_transactions"]
+    ))
+
+
+if __name__ == "__main__":
+    main()
