@@ -1,0 +1,52 @@
+"""Open-loop SLO curves: goodput and tail latency vs offered load.
+
+The closed-loop figures (12/14/16) measure the machine at 100 % duty
+cycle, which hides queueing entirely.  This benchmark drives the PR-7
+traffic layer instead: a seeded Poisson arrival stream over the
+70/20/10 YCSB/TPC-C/Echo blend, Zipf-skewed across 16 tenants, swept
+across offered loads that straddle the service capacity.  It asserts
+the open-loop contract — tail latency decouples from goodput past the
+overload knee — and emits every point as BenchRecords so the PR-5 gate
+tracks SLO regressions per (design, offered-load) pair.
+
+The scenario (loads, arrivals, blend, seed) deliberately matches the
+``repro traffic`` CLI defaults so CI's traffic-smoke run and this
+benchmark share cache cells and config digests.
+"""
+
+from benchmarks.bench_util import emit
+from benchmarks.conftest import run_once
+from repro.traffic import TrafficConfig, run_load_sweep, slo_table, sweep_records
+
+#: Must match the ``repro traffic`` CLI defaults (see ``cli.py``).
+DESIGNS = ("MorLog-DP", "FWB-CRADE")
+LOADS = (100_000.0, 400_000.0, 1_600_000.0, 6_400_000.0)
+SCENARIO = TrafficConfig()  # CLI defaults == dataclass defaults
+
+
+def test_traffic_slo_curves(benchmark, grid_jobs, grid_cache):
+    def experiment():
+        return run_load_sweep(
+            DESIGNS, LOADS, SCENARIO, jobs=grid_jobs, cache=grid_cache)
+
+    outcome = run_once(benchmark, experiment)
+    emit(
+        "traffic_slo",
+        slo_table(outcome) + "\n" + outcome.report.summary(),
+        records=sweep_records(outcome),
+    )
+
+    knees = {design: outcome.knee(design) for design in DESIGNS}
+    # The load range straddles saturation: at least one design must show
+    # a measured overload knee (p99 blown, goodput plateaued).
+    assert any(knee is not None for knee in knees.values()), knees
+
+    for design in DESIGNS:
+        points = outcome.results[design]
+        light, heavy = points[0], points[-1]
+        # Open-loop accounting is conservative at every point.
+        for result in points:
+            assert result.completed + result.dropped == result.arrivals
+        # Past saturation the tail has decoupled from goodput.
+        assert heavy.p99_latency_ns >= 3.0 * light.p99_latency_ns
+        assert heavy.goodput_tx_per_s >= 0.8 * light.goodput_tx_per_s

@@ -10,6 +10,11 @@ Commands:
 - ``fault-sweep`` — enumerate crash points and verify recovery at each.
 - ``trace`` — run one cell with event tracing, export a Chrome trace.
 - ``profile`` — run one cell under the host-side phase profiler.
+- ``traffic`` — open-loop offered-load sweeps: Poisson/bursty arrivals,
+  multi-tenant workload mixes, bounded admission queues; reports
+  p50/p99/p999 commit latency (queueing included), goodput and the
+  overload knee, with optional BenchRecord emission and a
+  crash-under-load recovery curve.
 - ``bench`` — the benchmark observatory: ``record`` a cell as typed
   BenchRecords, ``compare`` two trajectory points, ``gate`` a run
   against the committed baseline (non-zero exit on regression), and
@@ -93,7 +98,9 @@ def _parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--workload",
         default="echo",
-        choices=MICRO_WORKLOADS + MACRO_WORKLOADS,
+        # "mix" is the default 70/20/10 traffic blend run closed-loop;
+        # grid/figure stay micro+macro so figure grids keep their shape.
+        choices=MICRO_WORKLOADS + MACRO_WORKLOADS + ("mix",),
     )
     run_p.add_argument("--transactions", type=int, default=200)
     run_p.add_argument("--threads", type=int, default=4)
@@ -289,6 +296,82 @@ def _parser() -> argparse.ArgumentParser:
     pr_p.add_argument(
         "--json", default=None, metavar="FILE",
         help="also write the profile summary as JSON",
+    )
+
+    tf_p = sub.add_parser(
+        "traffic",
+        help="open-loop offered-load sweep with SLO tail-latency reporting",
+    )
+    tf_p.add_argument(
+        "--designs", default="MorLog-DP,FWB-CRADE",
+        help="comma-separated design names, or 'all'",
+    )
+    tf_p.add_argument(
+        "--loads", default="100000,400000,1600000,6400000",
+        help="comma-separated offered loads (tx/s)",
+    )
+    tf_p.add_argument(
+        "--arrivals", type=int, default=400,
+        help="arrivals per point before REPRO_SCALE (default 400)",
+    )
+    tf_p.add_argument(
+        "--arrival-process", choices=("poisson", "bursty"), default="poisson",
+    )
+    tf_p.add_argument(
+        "--burst-on-fraction", type=float, default=0.25,
+        help="bursty process: long-run fraction of time spent bursting",
+    )
+    tf_p.add_argument(
+        "--burst-cycle-ns", type=float, default=200000.0,
+        help="bursty process: mean on+off cycle length (ns)",
+    )
+    tf_p.add_argument("--tenants", type=int, default=16)
+    tf_p.add_argument(
+        "--zipf-theta", type=float, default=0.9,
+        help="tenant popularity skew (0 = uniform)",
+    )
+    tf_p.add_argument(
+        "--mix", default="ycsb:0.7,tpcc:0.2,echo:0.1",
+        help="workload blend, e.g. ycsb:0.7,tpcc:0.2,echo:0.1",
+    )
+    tf_p.add_argument("--threads", type=int, default=4)
+    tf_p.add_argument(
+        "--queue-capacity", type=int, default=16,
+        help="per-core admission queue bound",
+    )
+    tf_p.add_argument(
+        "--drop-policy", choices=("shed", "drop-oldest"), default="shed",
+    )
+    tf_p.add_argument("--seed", type=int, default=42)
+    tf_p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: all CPU cores)",
+    )
+    tf_p.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-simulate (skip the result cache)",
+    )
+    tf_p.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: REPRO_CACHE_DIR or"
+        " ~/.cache/morlog-repro/grid)",
+    )
+    tf_p.add_argument(
+        "--bench", action="store_true",
+        help="append the SLO metrics to the BENCH trajectory as BenchRecords",
+    )
+    tf_p.add_argument(
+        "--bench-dir", default=None, metavar="DIR",
+        help="trajectory directory (default: REPRO_BENCH_DIR or cwd)",
+    )
+    tf_p.add_argument(
+        "--crash-fraction", type=float, default=None, metavar="FRAC",
+        help="also crash each point at FRAC of its arrivals and print the"
+        " recovery-vs-log-occupancy curve",
+    )
+    tf_p.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the SLO table to FILE",
     )
 
     bench_p = sub.add_parser(
@@ -562,6 +645,8 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     elif args.command == "profile":
         return _cmd_profile(args)
+    elif args.command == "traffic":
+        return _cmd_traffic(args)
     elif args.command == "bench":
         return _cmd_bench(args)
     return 0
@@ -590,7 +675,8 @@ def _cmd_trace(args) -> int:
     )
     bus = system.tracer
     count = write_chrome_trace(
-        args.out, bus.events, design=design, workload=args.workload
+        args.out, bus.events, design=design, workload=args.workload,
+        dropped=bus.dropped,
     )
     print("wrote %d events to %s (load in ui.perfetto.dev)" % (count, args.out))
     if args.events is not None:
@@ -599,7 +685,8 @@ def _cmd_trace(args) -> int:
     summary = bus.summary()
     if summary["dropped"]:
         print(
-            "warning: ring dropped %d events (raise --limit beyond %d)"
+            "warning: ring dropped %d events — the export and metrics"
+            " snapshot cover a TRUNCATED stream (raise --limit beyond %d)"
             % (summary["dropped"], args.limit)
         )
     rows = [[cat, n] for cat, n in summary["by_category"].items()]
@@ -613,8 +700,10 @@ def _cmd_trace(args) -> int:
         result, bus, design=design, workload=args.workload,
         memo=system.controller.nvm.memo_stats(),
     )
-    print("metrics snapshot: %d counters, %d trace names"
-          % (len(snapshot["counters"]), len(snapshot["trace"]["bus"]["by_name"])))
+    print("metrics snapshot: %d counters, %d trace names%s"
+          % (len(snapshot["counters"]),
+             len(snapshot["trace"]["bus"]["by_name"]),
+             " [TRUNCATED]" if snapshot["trace"]["truncated"] else ""))
     memo = snapshot.get("memo") or {}
     if memo:
         hits = sum(c["hits"] for c in memo.values())
@@ -932,6 +1021,111 @@ def _cmd_bench_report(args) -> int:
     ))
     if args.strict and counts["fail"]:
         return 1
+    return 0
+
+
+def _cmd_traffic(args) -> int:
+    from repro.experiments.cache import PayloadCache, default_cache_dir
+    from repro.traffic import (
+        TrafficConfig,
+        crash_recovery_curve,
+        run_load_sweep,
+        slo_table,
+        sweep_records,
+    )
+    from repro.workloads.mixture import parse_blend
+
+    if args.designs == "all":
+        designs = list(ALL_DESIGNS)
+    else:
+        designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    for design in designs:
+        if design not in ALL_DESIGNS:
+            print("unknown design %r (choose from %s)" % (design, ALL_DESIGNS))
+            return 2
+    try:
+        loads = [float(l) for l in args.loads.split(",") if l.strip()]
+        blend = parse_blend(args.mix)
+        traffic = TrafficConfig(
+            arrivals=args.arrivals,
+            process=args.arrival_process,
+            burst_on_fraction=args.burst_on_fraction,
+            burst_cycle_ns=args.burst_cycle_ns,
+            n_tenants=args.tenants,
+            zipf_theta=args.zipf_theta,
+            mix=blend,
+            n_threads=args.threads,
+            queue_capacity=args.queue_capacity,
+            drop_policy=args.drop_policy,
+            seed=args.seed,
+        )
+        traffic.validate()
+    except ValueError as error:
+        print("traffic: %s" % error)
+        return 2
+    if not loads:
+        print("traffic: need at least one offered load")
+        return 2
+
+    cache = None
+    if not args.no_cache:
+        cache = PayloadCache(cache_dir=args.cache_dir or default_cache_dir())
+    outcome = run_load_sweep(
+        designs, loads, traffic, jobs=args.jobs, cache=cache)
+    table = slo_table(outcome)
+    print(table)
+    if args.out is not None:
+        with open(args.out, "w") as fh:
+            fh.write(table + "\n")
+        print("SLO table written to %s" % args.out)
+    print(outcome.report.summary())
+    if cache is not None:
+        print("cache: hits=%d misses=%d stores=%d dir=%s" % (
+            cache.stats.hits, cache.stats.misses, cache.stats.stores,
+            cache.cache_dir))
+
+    if args.crash_fraction is not None:
+        from repro.traffic.sweep import resolve_traffic_cell
+        from repro.experiments.serialize import config_from_dict
+
+        rows = []
+        for design in designs:
+            # Resolve through the same path as the sweep so REPRO_SCALE
+            # shrinks the crash points identically.
+            spec = resolve_traffic_cell(design, traffic)
+            from repro.traffic import traffic_config_from_dict
+
+            resolved = traffic_config_from_dict(spec.traffic_dict)
+            for point in crash_recovery_curve(
+                design, loads, resolved, crash_fraction=args.crash_fraction,
+            ):
+                profile = point.profile
+                rows.append([
+                    design,
+                    point.offered_tx_per_s,
+                    "yes" if point.crashed else "no",
+                    profile.live_entries,
+                    profile.used_bytes,
+                    "%.4f" % profile.occupancy_fraction,
+                    profile.redone_words + profile.undone_words,
+                    profile.estimated_recovery_ns / 1000.0,
+                ])
+        print(format_table(
+            ["design", "offered/s", "crashed", "live", "log bytes",
+             "occupancy", "replayed words", "est recovery (us)"],
+            rows,
+            "crash at %.0f%% of arrivals: recovery vs log occupancy"
+            % (args.crash_fraction * 100),
+        ))
+
+    if args.bench:
+        from repro.bench import append_records, current_run_path
+
+        records = sweep_records(outcome)
+        path, total = append_records(
+            current_run_path(args.bench_dir), records)
+        print("%d record(s) appended to %s (%d total)" % (
+            len(records), path, total))
     return 0
 
 

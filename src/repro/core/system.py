@@ -352,6 +352,30 @@ class System:
             raise
         self._maybe_force_write_back()
 
+    def dispatch_transaction(
+        self, core: int, body: Callable[[TxContext], None],
+        arrival_ns: Optional[float] = None,
+    ):
+        """Dispatch one transaction on ``core``; the run loop's seam.
+
+        The closed-loop run loop calls this with no arrival time: the
+        transaction starts wherever the core's clock stands.  The
+        open-loop traffic engine (:mod:`repro.traffic`) passes the
+        transaction's ``arrival_ns``: an idle core first advances to the
+        arrival (the core sat idle until work arrived), while a busy core
+        starts it late — the gap between arrival and start is the
+        queueing delay the paper's closed-loop harness can never observe.
+
+        Returns ``(start_ns, finish_ns)`` on the core's clock.
+        """
+        if arrival_ns is not None and self.core_time_ns[core] < arrival_ns:
+            self.core_time_ns[core] = arrival_ns
+        start_ns = self.core_time_ns[core]
+        if self.recorder is not None:
+            self.recorder.on_tx_dispatch(core)
+        self.run_transaction(core, body)
+        return start_ns, self.core_time_ns[core]
+
     # ------------------------------------------------------------------
     # Setup-phase (untimed, unlogged) access for workload population
     # ------------------------------------------------------------------
@@ -482,7 +506,12 @@ class System:
 
     def run(self, workload, n_transactions: int, n_threads: Optional[int] = None) -> RunResult:
         """Set up ``workload`` and execute ``n_transactions`` across threads."""
-        n_threads = n_threads or self.config.cores.n_cores
+        if n_threads is None:
+            n_threads = self.config.cores.n_cores
+        if n_threads < 1:
+            # 0 used to silently mean "all cores" via `n_threads or ...`,
+            # turning a caller's arithmetic bug into an 8-thread run.
+            raise ValueError("n_threads must be >= 1, got %r" % (n_threads,))
         if n_threads > self.config.cores.n_cores:
             raise ValueError("more threads than cores")
         if self._ran:
@@ -495,9 +524,7 @@ class System:
         while dispatched < n_transactions:
             core = min(range(n_threads), key=self.core_time_ns.__getitem__)
             body = workload.transaction(core)
-            if self.recorder is not None:
-                self.recorder.on_tx_dispatch(core)
-            self.run_transaction(core, body)
+            self.dispatch_transaction(core, body)
             dispatched += 1
         # Measurement ends here: the paper measures N transactions of
         # steady-state execution; the drain below (flushing every dirty

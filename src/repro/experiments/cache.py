@@ -115,6 +115,29 @@ def cell_key(
     )
 
 
+def traffic_key_fields(
+    design: str,
+    traffic_dict: Dict[str, Any],
+    config_dict: Dict[str, Any],
+    repro_scale: float,
+) -> Dict[str, Any]:
+    """Key inputs for one open-loop traffic cell (design × scenario).
+
+    Shares :data:`CACHE_VERSION` with the grid keys on purpose: a bump
+    that means "the simulator's results changed" must invalidate cached
+    traffic results just like cached grid results.  The ``kind`` marker
+    keeps the two key families from ever colliding.
+    """
+    return {
+        "version": CACHE_VERSION,
+        "kind": "traffic",
+        "design": design,
+        "traffic": traffic_dict,
+        "config": strip_result_inert_encoding(config_dict),
+        "repro_scale": repro_scale,
+    }
+
+
 @dataclass
 class CacheStats:
     """Hit/miss counters for one engine invocation."""
@@ -128,8 +151,15 @@ class CacheStats:
 
 
 @dataclass
-class ResultCache:
-    """Content-addressed store mapping cell keys to RunResults."""
+class PayloadCache:
+    """Content-addressed store mapping keys to JSON payloads.
+
+    The generic layer under :class:`ResultCache`: callers hand it any
+    JSON-safe payload (the traffic engine stores TrafficResult dicts).
+    A ``decode`` callable runs inside the error envelope, so an entry
+    whose stored payload no longer decodes reads as a miss rather than
+    an exception — the same forgiveness corrupt files get.
+    """
 
     cache_dir: str = field(default_factory=default_cache_dir)
     stats: CacheStats = field(default_factory=CacheStats)
@@ -137,26 +167,30 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.cache_dir, key[:2], key + ".json")
 
-    def get(self, key: str) -> Optional[RunResult]:
-        """The cached result for ``key``, or None (counted as hit/miss)."""
+    def get_payload(self, key: str, decode=None) -> Optional[Any]:
+        """The cached payload for ``key``, or None (counted hit/miss)."""
         try:
             with open(self._path(key)) as handle:
                 payload = json.load(handle)
-            result = run_result_from_dict(payload["result"])
+            value = payload["result"]
+            if decode is not None:
+                value = decode(value)
         except (OSError, ValueError, KeyError, TypeError):
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        return result
+        return value
 
-    def put(self, key: str, result: RunResult, key_fields: Optional[dict] = None) -> None:
-        """Store ``result`` atomically (tmp file + os.replace)."""
+    def put_payload(
+        self, key: str, value: Any, key_fields: Optional[dict] = None
+    ) -> None:
+        """Store a JSON-safe payload atomically (tmp file + os.replace)."""
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         payload = {
             "key": key,
             "key_fields": key_fields,
-            "result": run_result_to_dict(result),
+            "result": value,
         }
         fd, tmp_path = tempfile.mkstemp(
             prefix=".tmp-" + key[:8] + "-", dir=os.path.dirname(path)
@@ -180,3 +214,16 @@ class ResultCache:
         for _root, _dirs, files in os.walk(self.cache_dir):
             count += sum(1 for f in files if f.endswith(".json"))
         return count
+
+
+@dataclass
+class ResultCache(PayloadCache):
+    """Content-addressed store mapping cell keys to RunResults."""
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or None (counted as hit/miss)."""
+        return self.get_payload(key, decode=run_result_from_dict)
+
+    def put(self, key: str, result: RunResult, key_fields: Optional[dict] = None) -> None:
+        """Store ``result`` atomically (tmp file + os.replace)."""
+        self.put_payload(key, run_result_to_dict(result), key_fields)

@@ -207,6 +207,7 @@ def _run_cell_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             bus.events,
             design=payload["design"],
             workload=payload["workload"],
+            dropped=bus.dropped,
         )
     return {
         "result": run_result_to_dict(result),

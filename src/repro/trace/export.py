@@ -75,14 +75,22 @@ def chrome_document(
     design: str = "",
     workload: str = "",
     extra: Optional[Dict[str, Any]] = None,
+    dropped: int = 0,
 ) -> Dict[str, Any]:
-    """Build the full Chrome JSON Object Format document."""
+    """Build the full Chrome JSON Object Format document.
+
+    ``dropped`` is the bus's drop counter: when the bounded ring
+    overflowed, the exported stream is missing that many events, and the
+    document says so in ``otherData`` instead of posing as complete.
+    """
     process = "%s/%s" % (design, workload) if design or workload else "repro"
     other: Dict[str, Any] = {
         "tool": "repro.trace",
         "schema_version": SCHEMA_VERSION,
         "design": design,
         "workload": workload,
+        "dropped_events": dropped,
+        "truncated": dropped > 0,
     }
     if extra:
         other.update(extra)
@@ -99,6 +107,7 @@ def write_chrome_trace(
     design: str = "",
     workload: str = "",
     extra: Optional[Dict[str, Any]] = None,
+    dropped: int = 0,
 ) -> int:
     """Validate and atomically write a Chrome trace file.
 
@@ -106,7 +115,8 @@ def write_chrome_trace(
     through a temp file + ``os.replace`` so a crashed exporter never
     leaves a torn artifact (the grid runner checks artifact existence).
     """
-    document = chrome_document(events, design=design, workload=workload, extra=extra)
+    document = chrome_document(
+        events, design=design, workload=workload, extra=extra, dropped=dropped)
     count = validate_chrome_trace(document)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)

@@ -15,9 +15,11 @@ from repro.trace.bus import TraceBus
 from repro.trace.events import SCHEMA_VERSION
 from repro.trace.timeline import assemble_timelines, timeline_summary
 
-#: Power-of-two microsecond buckets for transaction durations.
+#: Power-of-two microsecond buckets for transaction durations.  The
+#: first bucket holds every duration under one microsecond (the floor
+#: division below maps them all to 0), hence the ``<1us`` label.
 _DURATION_BUCKETS: Tuple[Tuple[int, Optional[int], str], ...] = tuple(
-    [(0, 0, "0us")]
+    [(0, 0, "<1us")]
     + [
         (1 << i, (1 << (i + 1)) - 1, "%d-%dus" % (1 << i, (1 << (i + 1)) - 1))
         for i in range(10)
@@ -27,9 +29,19 @@ _DURATION_BUCKETS: Tuple[Tuple[int, Optional[int], str], ...] = tuple(
 
 
 def duration_histogram(durations_ns: List[float]) -> Histogram:
-    """Histogram transaction durations (simulated ns) into us buckets."""
+    """Histogram transaction durations (simulated ns) into us buckets.
+
+    Durations must be finite and non-negative: a negative or NaN value
+    means the caller paired begin/commit timestamps wrong, and silently
+    flooring it into a bucket would hide that, so reject it loudly.
+    """
     histogram = Histogram(buckets=_DURATION_BUCKETS)
     for duration in durations_ns:
+        if duration != duration:  # NaN — the only value unequal to itself
+            raise ValueError("NaN transaction duration")
+        if duration < 0:
+            raise ValueError(
+                "negative transaction duration %r ns" % (duration,))
         histogram.observe(int(duration // 1000))
     return histogram
 
@@ -75,6 +87,10 @@ def metrics_snapshot(
         ]
         snapshot["trace"] = {
             "bus": bus.summary(),
+            # A bounded ring that dropped events yields timelines and
+            # histograms computed from a truncated stream; the flag lets
+            # consumers refuse to trust them instead of guessing.
+            "truncated": bus.dropped > 0,
             "timelines": timeline_summary(timelines),
             "histograms": {
                 "tx_duration_us": dict(duration_histogram(durations).counts())

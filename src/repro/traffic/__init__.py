@@ -1,0 +1,77 @@
+"""Open-loop traffic: arrivals, tenancy, admission queues, SLO sweeps.
+
+See docs/traffic.md.  The public surface:
+
+- :class:`TrafficConfig` / :func:`run_traffic` — one open-loop scenario
+  against one design, returning a :class:`TrafficResult` with
+  p50/p99/p999 commit latency (queueing included), goodput and drop
+  accounting.
+- :func:`run_load_sweep` / :func:`find_knee` / :func:`sweep_records` —
+  designs × offered-loads sweeps (parallel, cached, deterministic) with
+  overload-knee detection and BenchRecord emission.
+- :func:`run_crash_under_load` / :func:`crash_recovery_curve` — the
+  fault-injector composition: crash at peak backlog, then measure
+  recovery work against log occupancy.
+"""
+
+from repro.traffic.arrivals import (
+    ARRIVAL_PROCESSES,
+    bursty_arrivals,
+    make_arrivals,
+    poisson_arrivals,
+)
+from repro.traffic.crash import (
+    CrashLoadPoint,
+    crash_recovery_curve,
+    run_crash_under_load,
+)
+from repro.traffic.engine import (
+    DROP_POLICIES,
+    TrafficConfig,
+    TrafficResult,
+    percentile,
+    run_traffic,
+    run_traffic_system,
+    traffic_config_from_dict,
+    traffic_config_to_dict,
+    traffic_result_from_dict,
+)
+from repro.traffic.sweep import (
+    SweepOutcome,
+    TrafficCellSpec,
+    find_knee,
+    resolve_traffic_cell,
+    run_load_sweep,
+    run_traffic_cells,
+    slo_table,
+    sweep_records,
+)
+from repro.traffic.tenancy import TenantTable
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "DROP_POLICIES",
+    "CrashLoadPoint",
+    "SweepOutcome",
+    "TenantTable",
+    "TrafficCellSpec",
+    "TrafficConfig",
+    "TrafficResult",
+    "bursty_arrivals",
+    "crash_recovery_curve",
+    "find_knee",
+    "make_arrivals",
+    "percentile",
+    "poisson_arrivals",
+    "resolve_traffic_cell",
+    "run_crash_under_load",
+    "run_load_sweep",
+    "run_traffic",
+    "run_traffic_cells",
+    "run_traffic_system",
+    "slo_table",
+    "sweep_records",
+    "traffic_config_from_dict",
+    "traffic_config_to_dict",
+    "traffic_result_from_dict",
+]

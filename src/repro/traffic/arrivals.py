@@ -1,0 +1,92 @@
+"""Seeded open-loop arrival processes (timestamps in simulated ns).
+
+Two models, both driven by an explicit ``random.Random`` so a traffic
+run is bit-deterministic under a fixed seed:
+
+- **poisson** — memoryless arrivals at the offered rate (exponential
+  inter-arrival times), the classic open-loop client population.
+- **bursty** — a two-state on/off MMPP: arrivals come only during "on"
+  dwells, at ``rate / on_fraction`` so the *long-run* offered rate still
+  matches the requested one, with exponentially distributed on and off
+  dwell lengths.  This models synchronized client bursts (the regime
+  where admission queues actually fill).
+"""
+
+import random
+from typing import List
+
+ARRIVAL_PROCESSES = ("poisson", "bursty")
+
+
+def poisson_arrivals(
+    rate_tx_per_ns: float, count: int, rng: random.Random
+) -> List[float]:
+    """``count`` Poisson arrival timestamps at the given rate."""
+    if rate_tx_per_ns <= 0:
+        raise ValueError("arrival rate must be positive")
+    t = 0.0
+    out: List[float] = []
+    for _ in range(count):
+        t += rng.expovariate(rate_tx_per_ns)
+        out.append(t)
+    return out
+
+
+def bursty_arrivals(
+    rate_tx_per_ns: float,
+    count: int,
+    rng: random.Random,
+    on_fraction: float = 0.25,
+    cycle_ns: float = 200_000.0,
+) -> List[float]:
+    """``count`` on/off MMPP arrival timestamps.
+
+    ``on_fraction`` is the long-run fraction of time spent bursting;
+    ``cycle_ns`` the mean on+off cycle length.  Within a burst the
+    instantaneous rate is ``rate / on_fraction``.
+    """
+    if rate_tx_per_ns <= 0:
+        raise ValueError("arrival rate must be positive")
+    if not 0.0 < on_fraction < 1.0:
+        raise ValueError("on_fraction must be in (0, 1)")
+    if cycle_ns <= 0:
+        raise ValueError("cycle_ns must be positive")
+    burst_rate = rate_tx_per_ns / on_fraction
+    mean_on = cycle_ns * on_fraction
+    mean_off = cycle_ns * (1.0 - on_fraction)
+    t = 0.0
+    on_end = rng.expovariate(1.0 / mean_on)
+    out: List[float] = []
+    while len(out) < count:
+        dt = rng.expovariate(burst_rate)
+        if t + dt <= on_end:
+            t += dt
+            out.append(t)
+        else:
+            # The burst ended first: jump over the off dwell into the
+            # next burst.  The exponential is memoryless, so simply
+            # redrawing the inter-arrival there is distribution-exact.
+            t = on_end + rng.expovariate(1.0 / mean_off)
+            on_end = t + rng.expovariate(1.0 / mean_on)
+    return out
+
+
+def make_arrivals(
+    process: str,
+    offered_tx_per_s: float,
+    count: int,
+    rng: random.Random,
+    on_fraction: float = 0.25,
+    cycle_ns: float = 200_000.0,
+) -> List[float]:
+    """Dispatch on the process name; rate given in tx/s like the CLI."""
+    rate_tx_per_ns = offered_tx_per_s * 1e-9
+    if process == "poisson":
+        return poisson_arrivals(rate_tx_per_ns, count, rng)
+    if process == "bursty":
+        return bursty_arrivals(
+            rate_tx_per_ns, count, rng,
+            on_fraction=on_fraction, cycle_ns=cycle_ns)
+    raise ValueError(
+        "unknown arrival process %r (choose from %s)" % (
+            process, ", ".join(ARRIVAL_PROCESSES)))

@@ -1,0 +1,53 @@
+"""Multi-tenant population: Zipfian skew, home cores, blend components.
+
+Tenants are ranked by popularity (tenant 0 hottest) and drawn with the
+same Zipf CDF the YCSB workload uses for keys.  Each tenant is pinned to
+a *home core* round-robin by rank — so the hottest tenants land on
+different cores — and to one blend component, drawn once at build time
+by blend weight.  Pinning (rather than least-loaded placement) is what
+makes skew visible: a hot tenant queues behind itself on its home core
+while other cores idle, exactly the multi-tenant interference the SLO
+metrics are meant to expose.
+"""
+
+import bisect
+import random
+from typing import List, Sequence, Tuple
+
+from repro.workloads.ycsb import zipf_cdf
+
+
+class TenantTable:
+    """Immutable tenant→(core, component) map plus the popularity draw."""
+
+    def __init__(
+        self,
+        n_tenants: int,
+        zipf_theta: float,
+        n_cores: int,
+        blend: Sequence[Tuple[str, float]],
+        rng: random.Random,
+    ) -> None:
+        if n_tenants < 1:
+            raise ValueError("need at least one tenant")
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        self.n_tenants = n_tenants
+        self.zipf_theta = zipf_theta
+        self._cdf = zipf_cdf(n_tenants, zipf_theta)
+        self.home_core: List[int] = [t % n_cores for t in range(n_tenants)]
+        cumulative: List[float] = []
+        acc = 0.0
+        for _, weight in blend:
+            acc += weight
+            cumulative.append(acc)
+        cumulative[-1] = max(cumulative[-1], 1.0)
+        self.component: List[int] = [
+            bisect.bisect_left(cumulative, rng.random())
+            for _ in range(n_tenants)
+        ]
+
+    def draw(self, rng: random.Random) -> int:
+        """Draw a tenant id by Zipf popularity."""
+        rank = bisect.bisect_left(self._cdf, rng.random())
+        return min(rank, self.n_tenants - 1)

@@ -105,13 +105,29 @@ class Workload:
 
     # -- plumbing ---------------------------------------------------------
 
-    def setup(self, system, n_threads: int) -> None:
+    def setup(
+        self,
+        system,
+        n_threads: int,
+        heap_base: Optional[int] = None,
+        heap_size: Optional[int] = None,
+    ) -> None:
+        """Build the persistent structure (untimed).
+
+        ``heap_base``/``heap_size`` carve this workload's heap out of a
+        sub-range of NVMM instead of the whole device — the mixture
+        provider (:mod:`repro.workloads.mixture`) gives each component
+        its own disjoint slice so their allocators cannot collide.
+        """
         self.n_threads = n_threads
         self.rngs = [
             random.Random(self.params.seed * 1_000_003 + tid) for tid in range(n_threads)
         ]
-        heap_base = system.config.nvmm_base
-        heap_size = system.config.nvm.size_bytes
+        if heap_base is None:
+            heap_base = system.config.nvmm_base
+        if heap_size is None:
+            heap_size = system.config.nvm.size_bytes - (
+                heap_base - system.config.nvmm_base)
         self.heap = PersistentHeap(heap_base, heap_size)
         ctx = SetupContext(system)
         for tid in range(n_threads):
@@ -175,6 +191,7 @@ def make_workload(name: str, params: Optional[WorkloadParams] = None) -> Workloa
     from repro.workloads.redis import RedisWorkload
     from repro.workloads.sdg import SdgWorkload
     from repro.workloads.sps import SpsWorkload
+    from repro.workloads.mixture import MixtureWorkload
     from repro.workloads.tpcc import TpccWorkload
     from repro.workloads.vacation import VacationWorkload
     from repro.workloads.ycsb import YcsbWorkload
@@ -193,6 +210,7 @@ def make_workload(name: str, params: Optional[WorkloadParams] = None) -> Workloa
         "vacation": VacationWorkload,
         "ycsb": YcsbWorkload,
         "tpcc": TpccWorkload,
+        "mix": MixtureWorkload,
     }
     if name not in classes:
         raise ValueError("unknown workload %r (choose from %s)" % (

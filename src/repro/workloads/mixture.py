@@ -1,0 +1,149 @@
+"""Mixed workload blends — the traffic engine's multi-tenant payload.
+
+A :class:`MixtureWorkload` composes several registered workloads (e.g.
+70 % YCSB + 20 % TPC-C new-order + 10 % Echo) behind the standard
+:class:`~repro.workloads.base.Workload` interface, so it drops into the
+closed-loop ``System.run`` unchanged while also exposing the
+per-component entry point (:meth:`MixtureWorkload.component_transaction`)
+the open-loop traffic engine (:mod:`repro.traffic`) uses to route each
+tenant to its blend component.
+
+Each component gets a disjoint slice of the NVMM heap (via the
+``heap_base``/``heap_size`` setup override) so their allocators cannot
+collide, and a derived seed so blends stay deterministic while the
+components' streams remain independent.
+"""
+
+import random
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.workloads.base import Workload, WorkloadParams
+
+#: The blend named in the roadmap: 70 % YCSB + 20 % TPC-C + 10 % Echo.
+DEFAULT_BLEND: Tuple[Tuple[str, float], ...] = (
+    ("ycsb", 0.7),
+    ("tpcc", 0.2),
+    ("echo", 0.1),
+)
+
+#: Heap slices are aligned down to this many bytes.
+_SLICE_ALIGN = 4096
+
+
+def normalize_blend(blend) -> Tuple[Tuple[str, float], ...]:
+    """Canonicalize a blend: positive weights, normalized to sum 1."""
+    items = tuple((str(name), float(weight)) for name, weight in blend)
+    if not items:
+        raise ValueError("blend must name at least one workload")
+    for name, weight in items:
+        if name == "mix":
+            raise ValueError("blend cannot nest another mixture")
+        if not weight > 0:
+            raise ValueError(
+                "blend weight for %r must be positive, got %r" % (name, weight))
+    total = sum(weight for _, weight in items)
+    return tuple((name, weight / total) for name, weight in items)
+
+
+def parse_blend(text: str) -> Tuple[Tuple[str, float], ...]:
+    """Parse ``"ycsb:0.7,tpcc:0.2,echo:0.1"`` into a normalized blend."""
+    items: List[Tuple[str, float]] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" not in part:
+            raise ValueError(
+                "blend component %r must look like name:weight" % part)
+        name, weight_text = part.split(":", 1)
+        try:
+            weight = float(weight_text)
+        except ValueError:
+            raise ValueError(
+                "blend weight %r for %r is not a number" % (weight_text, name))
+        items.append((name.strip(), weight))
+    return normalize_blend(items)
+
+
+def blend_slug(blend) -> str:
+    """Stable short name for a blend (used in benchmark identifiers)."""
+    return "+".join(
+        "%s%d" % (name, round(weight * 100)) for name, weight in blend)
+
+
+class MixtureWorkload(Workload):
+    """Weighted blend of registered workloads over disjoint heap slices."""
+
+    name = "mix"
+
+    def __init__(self, params: Optional[WorkloadParams] = None,
+                 blend=None) -> None:
+        raw = params or WorkloadParams()
+        super().__init__(params)
+        self.blend = normalize_blend(blend if blend is not None else DEFAULT_BLEND)
+        # Derived seeds keep component streams independent: two blend
+        # positions never share an rng even when they name the same
+        # workload.  Built from the *unscaled* params so the component's
+        # own scaled_for_large() applies exactly once.
+        from repro.workloads.base import make_workload
+
+        self.components: List[Workload] = [
+            make_workload(name, replace(raw, seed=raw.seed + 7919 * (i + 1)))
+            for i, (name, _weight) in enumerate(self.blend)
+        ]
+        cum = 0.0
+        self._cumulative: List[float] = []
+        for _, weight in self.blend:
+            cum += weight
+            self._cumulative.append(cum)
+        self._cumulative[-1] = 1.0
+
+    def setup(self, system, n_threads: int,
+              heap_base: Optional[int] = None,
+              heap_size: Optional[int] = None) -> None:
+        self.n_threads = n_threads
+        # Mixing rngs (one per thread) pick which component serves each
+        # closed-loop transaction() call.
+        self.rngs = [
+            random.Random(self.params.seed * 1_000_003 + tid)
+            for tid in range(n_threads)
+        ]
+        if heap_base is None:
+            heap_base = system.config.nvmm_base
+        if heap_size is None:
+            heap_size = system.config.nvm.size_bytes - (
+                heap_base - system.config.nvmm_base)
+        slice_bytes = (heap_size // len(self.components)) & ~(_SLICE_ALIGN - 1)
+        if slice_bytes <= 0:
+            raise ValueError(
+                "heap of %d bytes cannot be sliced %d ways" % (
+                    heap_size, len(self.components)))
+        for index, component in enumerate(self.components):
+            component.setup(
+                system,
+                n_threads,
+                heap_base=heap_base + index * slice_bytes,
+                heap_size=slice_bytes,
+            )
+
+    def component_index(self, rng: random.Random) -> int:
+        """Draw a component by blend weight."""
+        roll = rng.random()
+        for index, threshold in enumerate(self._cumulative):
+            if roll < threshold:
+                return index
+        return len(self._cumulative) - 1
+
+    def component_transaction(self, index: int, tid: int) -> Callable:
+        """Next transaction body from blend component ``index``."""
+        return self.components[index].transaction(tid)
+
+    def transaction(self, tid: int) -> Callable:
+        return self.component_transaction(
+            self.component_index(self.rngs[tid]), tid)
+
+    def trace_provenance(self) -> Dict[str, object]:
+        provenance = super().trace_provenance()
+        provenance["blend"] = [[name, weight] for name, weight in self.blend]
+        return provenance

@@ -540,8 +540,8 @@ def test_duration_histogram_bucket_edges():
 
     us = 1000  # ns per us
     hist = duration_histogram([
-        0.0,            # 0us bucket
-        999.0,          # still 0us (floors to 0)
+        0.0,            # <1us bucket
+        999.0,          # still <1us (floors to 0)
         1 * us,         # lower edge of 1-1us
         2 * us - 1,     # upper edge of 1-1us (1us after floor)
         2 * us,         # lower edge of 2-3us
@@ -552,7 +552,7 @@ def test_duration_histogram_bucket_edges():
         10_000_000 * us,  # deep overflow
     ])
     counts = hist.counts()
-    assert counts["0us"] == 2
+    assert counts["<1us"] == 2
     assert counts["1-1us"] == 2
     assert counts["2-3us"] == 2
     assert counts["512-1023us"] == 2
@@ -564,3 +564,14 @@ def test_duration_histogram_bucket_edges():
         edge_hist = duration_histogram([(1 << i) * us])
         label = "%d-%dus" % (1 << i, (1 << (i + 1)) - 1)
         assert edge_hist.counts()[label] == 1
+
+
+def test_duration_histogram_rejects_negative_and_nan():
+    from repro.trace.metrics import duration_histogram
+
+    with pytest.raises(ValueError, match="negative"):
+        duration_histogram([100.0, -1.0])
+    with pytest.raises(ValueError, match="negative"):
+        duration_histogram([-0.5])  # would floor to bucket -1 silently
+    with pytest.raises(ValueError, match="NaN"):
+        duration_histogram([float("nan")])

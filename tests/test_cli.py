@@ -69,6 +69,43 @@ def test_grid_command_rejects_unknown_names(capsys):
     assert main(["grid", "--workloads", "nosuchworkload", "--no-cache"]) == 2
 
 
+def test_traffic_command_cold_then_warm(tmp_path, capsys):
+    argv = ["traffic", "--designs", "MorLog-SLDE",
+            "--loads", "100000,8000000", "--arrivals", "40",
+            "--mix", "hash:1.0", "--threads", "2", "--queue-capacity", "4",
+            "--jobs", "1", "--cache-dir", str(tmp_path / "cache"),
+            "--bench", "--bench-dir", str(tmp_path / "bench"),
+            "--out", str(tmp_path / "slo.txt")]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "offered/s" in cold and "overload knee" in cold
+    assert "record(s) appended" in cold
+    slo = (tmp_path / "slo.txt").read_text()
+    assert "MorLog-SLDE" in slo and "p999(us)" in slo
+    bench_files = list((tmp_path / "bench").glob("*.json"))
+    assert bench_files and "traffic/MorLog-SLDE" in bench_files[0].read_text()
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "hits=2 misses=0" in warm
+
+
+def test_traffic_crash_composition(capsys):
+    assert main(["traffic", "--designs", "MorLog-SLDE",
+                 "--loads", "2000000", "--arrivals", "40",
+                 "--mix", "hash:1.0", "--threads", "2",
+                 "--jobs", "1", "--no-cache",
+                 "--crash-fraction", "0.8"]) == 0
+    out = capsys.readouterr().out
+    assert "recovery vs log occupancy" in out
+    assert "est recovery (us)" in out
+
+
+def test_traffic_rejects_bad_arguments(capsys):
+    assert main(["traffic", "--designs", "NoSuchDesign", "--no-cache"]) == 2
+    assert main(["traffic", "--mix", "hash:-1", "--no-cache"]) == 2
+    assert main(["traffic", "--loads", "", "--no-cache"]) == 2
+
+
 def test_unknown_figure_rejected():
     with pytest.raises(SystemExit):
         main(["figure", "fig99"])

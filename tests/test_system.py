@@ -215,6 +215,22 @@ class TestRunLoop:
         with pytest.raises(ValueError):
             system.run(workload, 5, n_threads=64)
 
+    def test_zero_threads_rejected_not_coerced(self):
+        # Regression: ``n_threads=0`` used to fall through an ``or`` and
+        # silently run on all cores, skewing per-thread scaling curves.
+        system = make_tiny_system()
+        workload = make_workload(
+            "queue", WorkloadParams(initial_items=16, key_space=64)
+        )
+        with pytest.raises(ValueError, match="n_threads"):
+            system.run(workload, 5, n_threads=0)
+        with pytest.raises(ValueError, match="n_threads"):
+            system.run(workload, 5, n_threads=-2)
+        # ``None`` still means "all cores" explicitly.
+        result = system.run(workload, 8, n_threads=None)
+        assert result.transactions == 8
+        assert all(t > 0 for t in system.core_time_ns)
+
     def test_fwb_scan_triggers_and_truncates(self):
         system = make_tiny_system(fwb_interval_cycles=1_500)
         workload = make_workload(

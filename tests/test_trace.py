@@ -327,6 +327,36 @@ class TestMetricsSnapshot:
         snap = metrics_snapshot(result, None, "MorLog-SLDE", "sps")
         assert "trace" not in snap
 
+    def test_snapshot_marks_truncated_stream(self):
+        # A full run's snapshot over an unbounded-enough ring: honest.
+        system, result = run_traced(n_tx=10)
+        snap = metrics_snapshot(result, system.tracer, "MorLog-SLDE", "sps")
+        assert system.tracer.dropped == 0
+        assert snap["trace"]["truncated"] is False
+        # The same run through a tiny ring drops events, and the
+        # snapshot must say its timelines/histograms are truncated.
+        small, small_result = run_traced(
+            n_tx=10, trace=TraceConfig(enabled=True, capacity=8))
+        assert small.tracer.dropped > 0
+        snap = metrics_snapshot(small_result, small.tracer, "MorLog-SLDE", "sps")
+        assert snap["trace"]["truncated"] is True
+        assert snap["trace"]["bus"]["dropped"] == small.tracer.dropped
+
+    def test_chrome_export_carries_drop_metadata(self):
+        system, _result = run_traced(
+            n_tx=10, trace=TraceConfig(enabled=True, capacity=8))
+        assert system.tracer.dropped > 0
+        document = chrome_document(
+            system.tracer.events, design="MorLog-SLDE", workload="sps",
+            dropped=system.tracer.dropped,
+        )
+        assert document["otherData"]["truncated"] is True
+        assert document["otherData"]["dropped_events"] == system.tracer.dropped
+        # Default: a complete export says so.
+        complete = chrome_document([], design="d", workload="w")
+        assert complete["otherData"]["truncated"] is False
+        assert complete["otherData"]["dropped_events"] == 0
+
     def test_snapshot_is_json_serializable(self):
         system, result = run_traced(n_tx=10)
         snap = metrics_snapshot(result, system.tracer, "MorLog-SLDE", "sps")
