@@ -246,6 +246,40 @@ PAPER_EXPECTATIONS: Tuple[Expectation, ...] = (
         low=0.0,
         slack=1.0,
     ),
+    # Extension claims: the comparative persistence testbed's designs
+    # (docs/designs.md), bounded the same way as the paper rows.
+    Expectation(
+        id="ext-incll-log-bits",
+        paper="Ext.",
+        description="InCLL's two-word embedded entries carry less log"
+        " payload than the central undo log's three-slot entries",
+        benchmark="extension_designs",
+        metric="incll_vs_undo_log_bits_ratio",
+        low=0.5,
+        high=0.95,
+        slack=0.05,
+    ),
+    Expectation(
+        id="ext-paging-amplifies",
+        paper="Ext.",
+        description="Copy-on-write paging amplifies data writes by"
+        " roughly the page/line ratio under small transactions",
+        benchmark="extension_designs",
+        metric="paging_data_write_amplification",
+        low=2.0,
+        high=12.0,
+        slack=0.5,
+    ),
+    Expectation(
+        id="ext-ckpt-compacts",
+        paper="Ext.",
+        description="Commit-boundary checkpoints compact the log a"
+        " recovery scan must walk to the tail since the last checkpoint",
+        benchmark="extension_designs",
+        metric="ckpt_recovery_log_ratio",
+        high=0.25,
+        slack=0.05,
+    ),
 )
 
 

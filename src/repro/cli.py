@@ -2,7 +2,7 @@
 
 Commands:
 
-- ``designs`` — list the six evaluated designs.
+- ``designs`` — list every available design (paper, ablation, extension).
 - ``run`` — run one (design, workload) cell and print its metrics.
 - ``compare`` — run all designs on one workload, normalized table.
 - ``figure`` — regenerate one paper table/figure by name.
@@ -26,9 +26,9 @@ import os
 import sys
 
 from repro.analysis.report import format_table
-from repro.core.designs import ABLATION_DESIGN_NAMES, DESIGN_NAMES, make_system
+from repro.core.designs import DESIGN_NAMES, available_designs, make_system
 
-ALL_DESIGNS = DESIGN_NAMES + ABLATION_DESIGN_NAMES
+ALL_DESIGNS = available_designs(include_ablation=True, include_extensions=True)
 
 #: Aliases the trace/profile verbs accept on top of the full design
 #: names: the fault-sweep scheme aliases plus "undo-redo" for the
@@ -41,6 +41,9 @@ TRACE_DESIGN_ALIASES = {
     "undo-only": "Undo-CRADE",
     "redo-only": "Redo-CRADE",
     "undo-redo": "MorLog-SLDE",
+    "incll": "InCLL-CRADE",
+    "paging": "CoW-Page",
+    "ckpt-undo": "Ckpt-Undo",
 }
 
 
@@ -81,6 +84,17 @@ FIGURES = {
     "fig14": lambda scale: figures.normalized_table(
         figures.fig14_macro_throughput(scale),
         "Figure 14: macro throughput",
+    ),
+    "fig12x": lambda scale: figures.normalized_table(
+        figures.fig12x_extension_throughput(DatasetSize.SMALL, scale)[1],
+        "Figure 12 extended: micro throughput incl. extension designs",
+    ),
+    "fig13x": lambda scale: figures.normalized_table(
+        figures.fig13x_extension_write_traffic(DatasetSize.SMALL, scale)[1],
+        "Figure 13 extended: NVMM write traffic incl. extension designs",
+    ),
+    "ext-latency": lambda scale: figures.extension_latency_table(
+        figures.extension_commit_latency(scale)
     ),
 }
 
@@ -615,7 +629,7 @@ def _cmd_compare(args) -> None:
 def main(argv=None) -> int:
     args = _parser().parse_args(argv)
     if args.command == "designs":
-        for name in DESIGN_NAMES:
+        for name in ALL_DESIGNS:
             print(name)
     elif args.command == "run":
         _cmd_run(args)

@@ -159,6 +159,17 @@ class LoggingConfig:
     # "tx-table" keeps a per-transaction count of cache lines still
     # holding its updates and frees as soon as it reaches zero.
     truncation: str = "fwb-scan"
+    # --- Extension designs (comparative testbed, ROADMAP item 3) ---
+    # InCLL-CRADE: embedded undo slots reserved per cache line; stores
+    # beyond this count within one epoch overflow to the central log.
+    incll_slots_per_line: int = 2
+    # CoW-Page: shadow-page granularity in bytes (power of two, a
+    # multiple of the 64-byte line).
+    page_bytes: int = 4096
+    # Ckpt-Undo: checkpoint after this many commits, then compact the
+    # log by dropping entries the checkpoint superseded.  0 disables
+    # checkpointing (plain undo-only behaviour).
+    checkpoint_interval_tx: int = 8
 
 
 @dataclass(frozen=True)
@@ -223,6 +234,17 @@ class SystemConfig:
             raise ConfigError(
                 "unknown truncation policy %r" % self.logging.truncation
             )
+        if not 1 <= self.logging.incll_slots_per_line <= 8:
+            raise ConfigError(
+                "incll_slots_per_line must be in [1, 8]"
+            )
+        page = self.logging.page_bytes
+        if page < 64 or page % 64 or page & (page - 1):
+            raise ConfigError(
+                "page_bytes must be a power-of-two multiple of 64"
+            )
+        if self.logging.checkpoint_interval_tx < 0:
+            raise ConfigError("checkpoint_interval_tx cannot be negative")
         if self.encoding.secure_mode not in {"none", "full", "deuce"}:
             raise ConfigError(
                 "unknown secure mode %r" % self.encoding.secure_mode

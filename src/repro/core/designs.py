@@ -1,4 +1,4 @@
-"""Factory for the six evaluated designs (paper section VI-A).
+"""Factory for the evaluated designs (paper section VI-A) and extensions.
 
 ==============  =============  ==========  =====================================
 Design          Logger         Log codec   Notes
@@ -11,10 +11,30 @@ MorLog-CRADE    MorLog         CRADE       our logger + existing codec
 MorLog-SLDE     MorLog         SLDE        our logger + our codec
 MorLog-DP       MorLog         SLDE        + delay-persistence commit
 ==============  =============  ==========  =====================================
+
+Beyond the paper's six, the comparative persistence-design testbed
+(ROADMAP item 3) adds ablation baselines and three extension designs,
+all built through the same factory:
+
+==============  ==================  =====================================
+Design          Logger              Mechanism
+==============  ==================  =====================================
+Undo-CRADE      undo-only           ATOM-style forced write-back commit
+Redo-CRADE      redo-only           ReDU/DHTM-style DRAM staging
+InCLL-CRADE     incll               per-line embedded undo slots with an
+                                    overflow log (Cohen et al.)
+CoW-Page        paging              copy-on-write shadow pages, atomic
+                                    mapping flip at commit
+Ckpt-Undo       ckpt-undo           undo logging + periodic checkpoint
+                                    with log compaction
+==============  ==================  =====================================
+
+:func:`available_designs` is the single registry every design-name
+surface (CLI ``--designs``, sweeps, traffic harness) validates against.
 """
 
 from dataclasses import replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigError
@@ -37,13 +57,42 @@ DESIGN_NAMES = (
 # Not part of the paper's evaluated set.
 ABLATION_DESIGN_NAMES = ("Undo-CRADE", "Redo-CRADE")
 
+# Extension designs: alternative persistence mechanisms evaluated as
+# first-class citizens of the same harness (fault sweep, grid, traffic,
+# figures).  Not part of the paper's evaluated set either.
+EXTENSION_DESIGN_NAMES = ("InCLL-CRADE", "CoW-Page", "Ckpt-Undo")
+
+_CRADE_DESIGNS = frozenset(
+    ("FWB-CRADE", "FWB-Unsafe", "MorLog-CRADE")
+    + ABLATION_DESIGN_NAMES
+    + EXTENSION_DESIGN_NAMES
+)
+_SLDE_DESIGNS = frozenset(("FWB-SLDE", "MorLog-SLDE", "MorLog-DP"))
+
+
+def available_designs(
+    include_ablation: bool = False, include_extensions: bool = False
+) -> Tuple[str, ...]:
+    """The canonical design-name tuple, in presentation order.
+
+    The paper's six always come first; ablation baselines and the
+    extension designs are opt-in so figure pipelines keyed to the
+    paper's set stay stable.
+    """
+    names = DESIGN_NAMES
+    if include_ablation:
+        names = names + ABLATION_DESIGN_NAMES
+    if include_extensions:
+        names = names + EXTENSION_DESIGN_NAMES
+    return names
+
 
 def _design_config(name: str, base: SystemConfig) -> SystemConfig:
     logging = base.logging
     encoding = base.encoding
-    if name in ("FWB-CRADE", "FWB-Unsafe", "MorLog-CRADE", "Undo-CRADE", "Redo-CRADE"):
+    if name in _CRADE_DESIGNS:
         encoding = replace(encoding, log_codec="crade")
-    elif name in ("FWB-SLDE", "MorLog-SLDE", "MorLog-DP"):
+    elif name in _SLDE_DESIGNS:
         encoding = replace(encoding, log_codec="slde")
     else:
         raise ConfigError("unknown design %r" % name)
@@ -70,6 +119,18 @@ def make_system(
         from repro.logging_hw.redo_only import RedoOnlyLogger
 
         return System(cfg, RedoOnlyLogger, design_name=name, trace_config=trace)
+    if name == "InCLL-CRADE":
+        from repro.logging_hw.incll import InCllLogger
+
+        return System(cfg, InCllLogger, design_name=name, trace_config=trace)
+    if name == "CoW-Page":
+        from repro.logging_hw.paging import PagingLogger
+
+        return System(cfg, PagingLogger, design_name=name, trace_config=trace)
+    if name == "Ckpt-Undo":
+        from repro.logging_hw.checkpoint import CheckpointUndoLogger
+
+        return System(cfg, CheckpointUndoLogger, design_name=name, trace_config=trace)
 
     if name.startswith("FWB"):
         if name == "FWB-Unsafe":

@@ -455,6 +455,7 @@ class System:
         if self.crash_plan is not None:
             self.crash_plan.fire("fwb-scan")
         done = self.hierarchy.force_write_back_scan(now_ns)
+        done = self.logger.on_fwb_scan(done)
         self._scans_done += 1
         if self.tracer is not None:
             self.tracer.emit(
@@ -574,6 +575,11 @@ class System:
             delay_persistence=self.config.logging.delay_persistence,
             verify_decode=verify_decode,
         )
+        # Designs with durable state outside the central log (InCLL
+        # embedded slots, CoW page tables) run their own pass here; it
+        # reads only durable state, so the crashed logger instance is a
+        # safe place to hang the hook.
+        self.logger.recover_design_state(state)
         if self.tracer is not None:
             # Recovery runs on a fresh power-on timeline; ts 0 by design.
             self.tracer.emit(

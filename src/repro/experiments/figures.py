@@ -17,7 +17,7 @@ from repro.analysis.report import format_table
 from repro.analysis.write_distance import write_distance_distribution
 from repro.common.config import SystemConfig
 from repro.common.stats import geometric_mean
-from repro.core.designs import DESIGN_NAMES, make_system
+from repro.core.designs import DESIGN_NAMES, EXTENSION_DESIGN_NAMES, make_system
 from repro.experiments.runner import (
     DEFAULT_PARAMS,
     ExperimentScale,
@@ -42,6 +42,12 @@ MOTIVATION_WORKLOADS = (
 )
 
 BASELINE = "FWB-CRADE"
+
+#: The paper's six designs plus the comparative-testbed extensions
+#: (ROADMAP item 3) — the design axis of the fig12x/fig13x variants.
+#: Kept separate from DESIGN_NAMES so the paper-shaped tables and their
+#: golden outputs are untouched.
+COMPARISON_DESIGN_NAMES = DESIGN_NAMES + EXTENSION_DESIGN_NAMES
 
 
 def _grid_metric(grid, metric) -> "OrderedDict[str, OrderedDict[str, float]]":
@@ -290,6 +296,81 @@ def fig14_macro_throughput(
 def normalized_table(values, title: str) -> str:
     headers, rows = _normalized_rows(values)
     return format_table(headers, rows, title, float_format="%.3f")
+
+
+# ---------------------------------------------------------------------------
+# Comparative persistence-design testbed (extension figures)
+# ---------------------------------------------------------------------------
+
+
+def fig12x_extension_throughput(
+    dataset: DatasetSize = DatasetSize.SMALL,
+    scale: Optional[ExperimentScale] = None,
+    designs: Sequence[str] = COMPARISON_DESIGN_NAMES,
+    jobs: Optional[int] = None,
+    cache=None,
+):
+    """Figure 12 extended: micro throughput including InCLL/CoW/Ckpt."""
+    return fig12_micro_throughput(dataset, scale, designs, jobs=jobs, cache=cache)
+
+
+def fig13x_extension_write_traffic(
+    dataset: DatasetSize = DatasetSize.SMALL,
+    scale: Optional[ExperimentScale] = None,
+    designs: Sequence[str] = COMPARISON_DESIGN_NAMES,
+    jobs: Optional[int] = None,
+    cache=None,
+):
+    """Figure 13 extended: NVMM write traffic including InCLL/CoW/Ckpt.
+
+    The interesting columns: CoW-Page's page-granularity copies amplify
+    traffic under small transactions, while InCLL's colocated slots trade
+    central-log control writes for embedded ones.
+    """
+    return fig13_write_traffic(dataset, scale, designs, jobs=jobs, cache=cache)
+
+
+def extension_commit_latency(
+    scale: Optional[ExperimentScale] = None,
+    designs: Sequence[str] = COMPARISON_DESIGN_NAMES,
+    offered_tx_per_s: float = 100_000.0,
+    seed: int = 42,
+):
+    """Open-loop commit latency (arrival → commit persist) per design.
+
+    One moderate offered-load point through the traffic engine; returns
+    ``{design: {"p50_ns": ..., "p99_ns": ..., "mean_ns": ...}}``.
+    """
+    from repro.traffic.engine import TrafficConfig, run_traffic
+
+    scale = scale or ExperimentScale()
+    arrivals = max(scale.transactions(False, DatasetSize.SMALL), 30)
+    traffic = TrafficConfig(
+        offered_tx_per_s=offered_tx_per_s, arrivals=arrivals, seed=seed
+    )
+    out: "OrderedDict[str, Dict[str, float]]" = OrderedDict()
+    for design in designs:
+        result = run_traffic(design, traffic)
+        out[design] = {
+            "mean_ns": result.mean_latency_ns,
+            "p50_ns": result.p50_latency_ns,
+            "p99_ns": result.p99_latency_ns,
+        }
+    return out
+
+
+def extension_latency_table(data=None) -> str:
+    data = data or extension_commit_latency()
+    rows = [
+        [design, row["mean_ns"], row["p50_ns"], row["p99_ns"]]
+        for design, row in data.items()
+    ]
+    return format_table(
+        ["design", "mean (ns)", "p50 (ns)", "p99 (ns)"],
+        rows,
+        title="Extension designs: open-loop commit latency",
+        float_format="%.0f",
+    )
 
 
 # ---------------------------------------------------------------------------

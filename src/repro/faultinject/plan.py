@@ -36,6 +36,10 @@ stage-release       before redo-only logging releases a staged line
 wal-flush           before FWB flushes write-ahead entries at an LLC evict
 log-truncate        before the truncated head pointer is persisted
 fwb-scan            before a force-write-back scan starts
+embedded-write      before an InCLL embedded slot/epoch word is written
+page-table-write    before a CoW page-table header or watermark persists
+page-flip           before CoW paging's atomic commit flip is persisted
+log-compaction      before a checkpoint compacts the covered log prefix
 ==================  =====================================================
 
 Crashing *before* each NVMM mutation is sufficient for exhaustiveness:
@@ -66,6 +70,10 @@ CRASH_POINTS = (
     "wal-flush",
     "log-truncate",
     "fwb-scan",
+    "embedded-write",
+    "page-table-write",
+    "page-flip",
+    "log-compaction",
 )
 
 _POINT_SET = frozenset(CRASH_POINTS)

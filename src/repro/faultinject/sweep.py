@@ -38,7 +38,7 @@ from repro.common.config import (
     NVMConfig,
     SystemConfig,
 )
-from repro.core.designs import ABLATION_DESIGN_NAMES, DESIGN_NAMES, make_system
+from repro.core.designs import available_designs, make_system
 from repro.core.system import CrashInjected, System
 from repro.faultinject.mutants import apply_mutant
 from repro.faultinject.oracle import Violation, WriteSetTracker, check_crash_state
@@ -53,15 +53,22 @@ DESIGN_ALIASES: Dict[str, str] = {
     "fwb": "FWB-CRADE",
     "undo-only": "Undo-CRADE",
     "redo-only": "Redo-CRADE",
+    "incll": "InCLL-CRADE",
+    "paging": "CoW-Page",
+    "ckpt-undo": "Ckpt-Undo",
 }
 
 DEFAULT_SWEEP_DESIGNS = ("morlog", "undo-only", "redo-only", "fwb")
+
+#: The comparative-testbed extensions, swept alongside the default set
+#: by the acceptance suite and the designs-smoke CI job.
+EXTENSION_SWEEP_DESIGNS = ("incll", "paging", "ckpt-undo")
 
 
 def resolve_design(name: str) -> str:
     """Map an alias or full design name to the factory's design name."""
     full = DESIGN_ALIASES.get(name.lower(), name)
-    if full not in DESIGN_NAMES + ABLATION_DESIGN_NAMES:
+    if full not in available_designs(include_ablation=True, include_extensions=True):
         raise ValueError(
             "unknown design %r (aliases: %s)" % (name, ", ".join(sorted(DESIGN_ALIASES)))
         )
@@ -229,7 +236,14 @@ def _build(design: str, options: SweepOptions):
     overrides = {}
     if options.fwb_interval_cycles is not None:
         overrides["fwb_interval_cycles"] = options.fwb_interval_cycles
-    system = make_system(resolve_design(design), sweep_system_config(**overrides))
+    resolved = resolve_design(design)
+    if resolved == "CoW-Page":
+        # A 4 KiB page makes every crash-point probe restore hundreds of
+        # words; a small page keeps the exhaustive sweep fast while still
+        # exercising multi-line copies.  Both passes (and replay) share
+        # the override, so schedules stay deterministic.
+        overrides.setdefault("page_bytes", 256)
+    system = make_system(resolved, sweep_system_config(**overrides))
     if options.mutant is not None:
         apply_mutant(system, options.mutant)
     workload = make_workload(

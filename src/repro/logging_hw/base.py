@@ -112,6 +112,28 @@ class HardwareLogger(CacheListener):
         """Flush every buffered log entry (end of run / clean shutdown)."""
         raise NotImplementedError
 
+    def on_fwb_scan(self, now_ns: float) -> float:
+        """Called after each force-write-back scan, before truncation.
+
+        No transaction has in-flight persistent state at this boundary
+        (the scan wrote every dirty line back), so designs with durable
+        side state — the InCLL epoch word, the CoW page-table watermark —
+        advance it here.  The default is a no-op.
+        """
+        return now_ns
+
+    def recover_design_state(self, state) -> None:
+        """Design-private recovery pass, run after the central-log pass.
+
+        ``state`` is the :class:`repro.logging_hw.recovery.RecoveredState`
+        the log scan produced.  Implementations must read only durable
+        NVMM state (the volatile machine is gone after a crash), mutate
+        home words exclusively through ``array.write_logical`` (so the
+        sweep's journaled probes roll back cleanly), and synthesize a
+        ScannedRecord for every word they touch so the oracle's
+        idempotence set covers it.  The default is a no-op.
+        """
+
     def on_nt_store(
         self, tx: TransactionInfo, addr: int, value: int, now_ns: float
     ) -> float:

@@ -251,6 +251,15 @@ class NvmArray:
                 else:
                     self._words[waddr].logical = old
 
+    def written_addresses(self, lo: int, hi: int) -> list:
+        """Sorted word addresses with a slot allocated in ``[lo, hi)``.
+
+        Design-private recovery (InCLL embedded slots, CoW page tables)
+        heap-scans its durable region through this accessor; the array
+        is sparse, so only slots that were ever written enumerate.
+        """
+        return sorted(addr for addr in self._words if lo <= addr < hi)
+
     def snapshot(self) -> Dict[int, StoredWord]:
         """Copy the persistent state for crash-injection tests."""
         return {

@@ -29,9 +29,14 @@ class EnduranceReport:
 
     @property
     def wear_imbalance(self) -> float:
-        """Hottest word's wear over the mean (1.0 = perfectly level)."""
+        """Hottest word's wear over the mean (1.0 = perfectly level).
+
+        A zero mean with a worn hottest word is unbounded imbalance, not
+        a level array — reports built from inconsistent wear tables used
+        to read as perfectly level here.
+        """
         if self.mean_word_wear == 0:
-            return 1.0
+            return 1.0 if self.max_word_wear == 0 else float("inf")
         return self.max_word_wear / self.mean_word_wear
 
     def lifetime_runs_unleveled(self) -> float:

@@ -72,7 +72,9 @@ EVENT_SCHEMA: Dict[str, EventSpec] = {
 
 #: Keys the exporter owns inside the Chrome ``args`` object; event
 #: payloads must not collide with them (enforced by validate_event).
-RESERVED_ARG_KEYS = ("txid", "addr", "ts_ns", "dur_ns")
+#: ``core`` is reserved too: it is a named ``TraceBus.emit`` parameter,
+#: so an event carrying it as an arg key could never be re-emitted.
+RESERVED_ARG_KEYS = ("txid", "addr", "ts_ns", "dur_ns", "core")
 
 
 @dataclass(frozen=True)

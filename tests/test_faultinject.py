@@ -290,7 +290,7 @@ def test_wal_flush_point_fires_on_fwb():
 def test_all_fired_points_are_catalogued():
     """Every point any sweep fires must be a declared CRASH_POINTS name
     (CrashPlan.fire enforces this; here we pin the catalogue itself)."""
-    assert len(CRASH_POINTS) == len(set(CRASH_POINTS)) == 16
+    assert len(CRASH_POINTS) == len(set(CRASH_POINTS)) == 20
 
 
 # ----------------------------------------------------------------------
