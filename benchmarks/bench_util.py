@@ -10,6 +10,11 @@ on disk next to the code.  :func:`emit` is the single exit point:
   ``results/<name>.json`` and appends the records to the current
   repo-root ``BENCH_<n>.json`` trajectory file — the ``.txt`` and the
   records always land together;
+- when the caller passes ``figure`` (a ``{workload: {design: value}}``
+  grid), the same call emits ``results/<name>.vl.json`` (a
+  self-contained Vega-Lite spec) and ``results/<name>.csv`` through
+  :mod:`repro.experiments.vega`, turning the results directory into a
+  browsable dashboard (see ``repro bench report``);
 - the table is echoed to stdout unless quieted (``quiet=True`` or
   ``REPRO_BENCH_QUIET=1``; CI's reduced-scale runs set the env var).
 
@@ -23,7 +28,7 @@ tests can assert on the artifacts.
 
 import os
 import tempfile
-from typing import NamedTuple, Optional, Sequence
+from typing import Mapping, NamedTuple, Optional, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -38,6 +43,8 @@ class EmitResult(NamedTuple):
     txt_path: str
     json_path: Optional[str]
     run_path: Optional[str]
+    vl_path: Optional[str] = None
+    csv_path: Optional[str] = None
 
 
 def _quiet(explicit: Optional[bool]) -> bool:
@@ -51,8 +58,11 @@ def emit(
     text: str,
     records: Optional[Sequence] = None,
     quiet: Optional[bool] = None,
+    figure: Optional[Mapping] = None,
+    figure_title: Optional[str] = None,
+    figure_metric: str = "value",
 ) -> EmitResult:
-    """Persist one benchmark's table (and records), print unless quiet."""
+    """Persist one benchmark's table (and records/figure), print unless quiet."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, name + ".txt")
     fd, tmp_path = tempfile.mkstemp(prefix="." + name + "-", dir=RESULTS_DIR)
@@ -76,7 +86,19 @@ def emit(
         root = os.environ.get("REPRO_BENCH_DIR") or REPO_ROOT
         run_path, _total = append_records(current_run_path(root), records)
 
+    vl_path = csv_path = None
+    if figure:
+        from repro.experiments.vega import write_figure
+
+        vl_path, csv_path = write_figure(
+            RESULTS_DIR, name, figure,
+            figure_title or name, figure_metric,
+        )
+
     if not _quiet(quiet):
         print()
         print(text)
-    return EmitResult(txt_path=path, json_path=json_path, run_path=run_path)
+    return EmitResult(
+        txt_path=path, json_path=json_path, run_path=run_path,
+        vl_path=vl_path, csv_path=csv_path,
+    )

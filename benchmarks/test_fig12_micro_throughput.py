@@ -49,6 +49,9 @@ def test_fig12a_small_dataset(benchmark, micro_grid_small):
                 tolerance=0.05,
             ),
         ],
+        figure=values,
+        figure_title="Figure 12(a): micro throughput, small dataset",
+        figure_metric="throughput (tx/s)",
     )
     assert _gmean_ratio(values, "MorLog-SLDE") > 1.0
     # MorLog-CRADE stays within a few percent of FWB-CRADE on micros.
@@ -82,6 +85,9 @@ def test_fig12b_large_dataset(benchmark, micro_grid_large):
                 tolerance=0.25,
             ),
         ],
+        figure=values,
+        figure_title="Figure 12(b): micro throughput, large dataset",
+        figure_metric="throughput (tx/s)",
     )
     assert _gmean_ratio(values, "MorLog-SLDE") > 1.0
     # SPS with the large dataset is where SLDE shines the most (paper:

@@ -37,6 +37,9 @@ def test_fig13_write_traffic(benchmark, micro_grid_small):
                 tolerance=0.05,
             ),
         ],
+        figure=values,
+        figure_title="Figure 13: NVMM write traffic, small dataset",
+        figure_metric="NVMM writes",
     )
     assert gmean < 1.0, "MorLog-DP must reduce NVMM write traffic"
     for row in values.values():

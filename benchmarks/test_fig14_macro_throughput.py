@@ -32,5 +32,8 @@ def test_fig14_macro_throughput(benchmark, scale):
                 tolerance=0.05,
             ),
         ],
+        figure=values,
+        figure_title="Figure 14: macro throughput",
+        figure_metric="throughput (tx/s)",
     )
     assert dp_gmean > 1.0, "MorLog-DP must beat the baseline on macros"

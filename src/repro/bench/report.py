@@ -3,8 +3,10 @@
 Renders one trajectory point — by default the latest ``BENCH_<n>.json``
 — into ``benchmarks/results/REPORT.md``: the paper-fidelity scorecard
 first (that is the headline: does the reproduction still track the
-paper?), then every recorded metric grouped by benchmark, then, when a
-baseline is given, the classified comparison against it.
+paper?), then every recorded metric grouped by benchmark, then the
+figure artifacts (the Vega-Lite + CSV pairs the benchmarks emit next to
+their ``.txt`` tables, discovered from the results directory), then,
+when a baseline is given, the classified comparison against it.
 """
 
 import time
@@ -106,6 +108,39 @@ def records_section(records: List[BenchRecord]) -> List[str]:
     return lines
 
 
+def figures_section(figures: List[Dict[str, Any]]) -> List[str]:
+    """Browsable index of the emitted Vega-Lite/CSV figure artifacts.
+
+    ``figures`` is :func:`repro.experiments.vega.discover_figures`
+    output; specs link to the Vega editor-compatible JSON and the CSV,
+    and a spec that failed validation shows up as ``invalid`` rather
+    than disappearing.
+    """
+    lines = ["## Figures", ""]
+    if not figures:
+        lines.append("No figure artifacts found.")
+        return lines
+    rows = []
+    for figure in figures:
+        rows.append(
+            [
+                figure.get("title") or figure["name"],
+                "[%s](%s)" % (
+                    figure["name"] + ".vl.json", figure["name"] + ".vl.json"),
+                "[csv](%s)" % (figure["name"] + ".csv")
+                if figure.get("csv_path") else "-",
+                "invalid" if figure.get("rows") is None
+                else "%d rows" % figure["rows"],
+            ]
+        )
+    lines.extend(_table(["figure", "vega-lite", "data", "status"], rows))
+    lines.append("")
+    lines.append(
+        "Open a `.vl.json` in any Vega-Lite viewer (data is inlined)."
+    )
+    return lines
+
+
 def comparison_section(
     report: ComparisonReport, baseline_name: str
 ) -> List[str]:
@@ -144,6 +179,7 @@ def render_report(
     run_name: str = "",
     comparison: Optional[ComparisonReport] = None,
     baseline_name: str = "baseline",
+    figures: Optional[List[Dict[str, Any]]] = None,
 ) -> str:
     """The full markdown dashboard as one string."""
     header = run_header or {}
@@ -175,6 +211,9 @@ def render_report(
     lines.extend(scorecard_section(evaluate_expectations(records)))
     lines.append("")
     lines.extend(records_section(records))
+    if figures is not None:
+        lines.append("")
+        lines.extend(figures_section(figures))
     if comparison is not None:
         lines.append("")
         lines.extend(comparison_section(comparison, baseline_name))

@@ -171,6 +171,73 @@ def _parser() -> argparse.ArgumentParser:
         help="also write a Chrome trace per simulated cell into DIR"
         " (cached cells record whether their artifact already exists)",
     )
+    grid_p.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write the sweep's shard manifest to PATH before execution"
+        " (enables 'repro grid --resume PATH' and streams progress to"
+        " PATH.progress.jsonl)",
+    )
+    grid_p.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume a sweep from its manifest: only cells the result"
+        " cache does not hold are simulated (exactly-once); the grid"
+        " shape comes from the manifest, not --designs/--workloads",
+    )
+    grid_p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count recorded in the manifest (default: --jobs)",
+    )
+    grid_p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="re-submissions per cell after a worker exception or timeout"
+        " (default: 1)",
+    )
+    grid_p.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        dest="cell_timeout",
+        help="per-cell attempt deadline; a cell still running past it is"
+        " abandoned (fail-soft) — needs --jobs >= 2",
+    )
+    grid_p.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the sweep on the first cell failure instead of"
+        " recording it and completing the rest",
+    )
+    grid_p.add_argument(
+        "--figures-dir",
+        default=None,
+        metavar="DIR",
+        dest="figures_dir",
+        help="also emit the grid throughput figure as Vega-Lite JSON +"
+        " CSV into DIR",
+    )
+    grid_p.add_argument(
+        "--bench",
+        action="store_true",
+        help="append sweep-shape records to the bench observatory",
+    )
+    grid_p.add_argument(
+        "--bench-dir",
+        default=None,
+        help="observatory root (default: benchmarks/results/runs)",
+    )
+    # Deterministic mid-flight kill for the kill-and-resume smoke tests:
+    # raises KeyboardInterrupt after N cells have streamed to the cache.
+    grid_p.add_argument(
+        "--interrupt-after", type=int, default=None, help=argparse.SUPPRESS
+    )
 
     cmp_p = sub.add_parser("compare", help="all designs on one workload")
     cmp_p.add_argument(
@@ -501,64 +568,89 @@ def _cmd_run(args) -> None:
 
 def _cmd_grid(args) -> int:
     from repro.experiments.cache import ResultCache, default_cache_dir
-    from repro.experiments.parallel import default_jobs, resolve_cell, run_cells
-    from repro.experiments.figures import normalized_table
+    from repro.experiments.megagrid import run_megagrid
+    from repro.experiments.parallel import default_jobs, resolve_cell
 
-    if args.designs == "all":
-        designs = list(ALL_DESIGNS)
-    else:
-        designs = [d.strip() for d in args.designs.split(",") if d.strip()]
-    for design in designs:
-        if design not in ALL_DESIGNS:
-            print("unknown design %r (choose from %s)" % (design, ALL_DESIGNS))
-            return 2
-    if args.workloads == "micro":
-        workloads = list(MICRO_WORKLOADS)
-    elif args.workloads == "macro":
-        workloads = list(MACRO_WORKLOADS)
-    else:
-        workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
-    known = MICRO_WORKLOADS + MACRO_WORKLOADS
-    for workload in workloads:
-        if workload not in known:
-            print("unknown workload %r (choose from %s)" % (workload, known))
-            return 2
+    resume = args.resume is not None
+    specs = None
+    if not resume:
+        if args.designs == "all":
+            designs = list(ALL_DESIGNS)
+        else:
+            designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+        for design in designs:
+            if design not in ALL_DESIGNS:
+                print("unknown design %r (choose from %s)"
+                      % (design, ALL_DESIGNS))
+                return 2
+        if args.workloads == "micro":
+            workloads = list(MICRO_WORKLOADS)
+        elif args.workloads == "macro":
+            workloads = list(MACRO_WORKLOADS)
+        else:
+            workloads = [
+                w.strip() for w in args.workloads.split(",") if w.strip()
+            ]
+        known = MICRO_WORKLOADS + MACRO_WORKLOADS
+        for workload in workloads:
+            if workload not in known:
+                print("unknown workload %r (choose from %s)"
+                      % (workload, known))
+                return 2
+        dataset = DatasetSize.LARGE if args.large else DatasetSize.SMALL
+        specs = [
+            resolve_cell(
+                design, workload, dataset,
+                n_transactions=args.transactions, n_threads=args.threads,
+            )
+            for workload in workloads
+            for design in designs
+        ]
 
-    dataset = DatasetSize.LARGE if args.large else DatasetSize.SMALL
     cache = None
     if not args.no_cache:
         cache = ResultCache(cache_dir=args.cache_dir or default_cache_dir())
-    specs = [
-        resolve_cell(
-            design, workload, dataset,
-            n_transactions=args.transactions, n_threads=args.threads,
+    jobs = args.jobs or default_jobs()
+    manifest_path = args.resume if resume else args.manifest
+    try:
+        outcome = run_megagrid(
+            specs=specs,
+            manifest_path=manifest_path,
+            resume=resume,
+            jobs=jobs,
+            cache=cache,
+            retries=args.retries,
+            timeout_s=args.cell_timeout,
+            fail_soft=not args.fail_fast,
+            shards=args.shards,
+            trace_dir=args.trace_dir,
+            interrupt_after=args.interrupt_after,
         )
-        for workload in workloads
-        for design in designs
-    ]
-    flat, report = run_cells(
-        specs, jobs=args.jobs or default_jobs(), cache=cache,
-        trace_dir=args.trace_dir,
-    )
+    except KeyboardInterrupt:
+        print("\ninterrupted — completed cells are already in the cache")
+        if manifest_path:
+            print("resume with: repro grid --resume %s" % manifest_path)
+        return 130
+    report = outcome.report
 
-    from collections import OrderedDict
-
-    values: "OrderedDict" = OrderedDict()
-    index = 0
-    for workload in workloads:
-        row: "OrderedDict" = OrderedDict()
-        for design in designs:
-            row[design] = flat[index].throughput_tx_per_s
-            index += 1
-        values[workload] = row
+    # Grid shape by cell identity (the manifest's on resume): a failed
+    # cell renders as nan at its own position, never shifting others.
+    workloads = list(dict.fromkeys(s.workload for s in outcome.specs))
+    designs = list(dict.fromkeys(s.design for s in outcome.specs))
+    values = {w: {d: None for d in designs} for w in workloads}
+    for spec, result in zip(outcome.specs, outcome.results):
+        if result is not None:
+            values[spec.workload][spec.design] = result.throughput_tx_per_s
     baseline = designs[0]
     headers = ["workload"] + designs
     rows = []
-    for workload, row in values.items():
+    for workload in workloads:
+        row = values[workload]
         base = row[baseline]
-        rows.append(
-            [workload] + [row[d] / base if base else float("nan") for d in designs]
-        )
+        rows.append([workload] + [
+            row[d] / base if base and row[d] is not None else float("nan")
+            for d in designs
+        ])
     print(
         format_table(
             headers,
@@ -580,7 +672,33 @@ def _cmd_grid(args) -> int:
                 float_format="%.3f",
             )
         )
+    if outcome.failures:
+        failure_rows = [
+            [f.workload, f.design, f.kind, f.attempts, f.message[:60]]
+            for f in outcome.failures
+        ]
+        print(
+            format_table(
+                ["workload", "design", "kind", "attempts", "error"],
+                failure_rows,
+                "failed cells (results above render as nan)",
+            )
+        )
+    if args.figures_dir is not None:
+        from repro.experiments.vega import write_figure
+
+        paths = write_figure(
+            args.figures_dir,
+            "grid_throughput",
+            values,
+            "grid throughput (tx/s)",
+            "throughput (tx/s)",
+        )
+        print("figure: %s + %s" % (paths.vl_path, paths.csv_path))
     print(report.summary())
+    if manifest_path and not args.fail_fast:
+        print("manifest: %s (resume with: repro grid --resume %s)"
+              % (manifest_path, manifest_path))
     if args.trace_dir is not None:
         traced = sum(1 for c in report.cells if c.trace_path is not None)
         print("traces: %d/%d cells have artifacts in %s"
@@ -595,7 +713,16 @@ def _cmd_grid(args) -> int:
                 cache.cache_dir,
             )
         )
-    return 0
+    if args.bench:
+        from repro.bench import append_records, current_run_path
+        from repro.experiments.megagrid import megagrid_records
+
+        records = megagrid_records(outcome)
+        path, total = append_records(
+            current_run_path(args.bench_dir), records)
+        print("%d record(s) appended to %s (%d total)"
+              % (len(records), path, total))
+    return 1 if outcome.failures else 0
 
 
 def _cmd_compare(args) -> None:
@@ -1016,12 +1143,16 @@ def _cmd_bench_report(args) -> int:
         _bheader, baseline = load_run(args.baseline)
         comparison = compare_records(baseline, records)
         baseline_name = args.baseline
+    from repro.experiments.vega import discover_figures
+
+    out_dir_for_figures = os.path.dirname(args.out) or "."
     text = render_report(
         records,
         run_header=header,
         run_name=os.path.basename(run_path),
         comparison=comparison,
         baseline_name=baseline_name or "baseline",
+        figures=discover_figures(out_dir_for_figures),
     )
     out_dir = os.path.dirname(args.out)
     if out_dir:

@@ -6,9 +6,13 @@ VI-E sensitivity study) and returns its data in a structured form; the
 ``benchmarks/`` tree wraps each one in a pytest-benchmark case that also
 prints the paper-shaped table.
 
-Grids run through :mod:`repro.experiments.parallel` (process-pool fan-out
-with deterministic assembly) backed by the content-addressed result cache
-in :mod:`repro.experiments.cache`.
+Grids run through :mod:`repro.experiments.megagrid` — the sharded,
+resumable, fail-soft sweep engine (per-future submission, streaming
+cache writes, shard manifests from :mod:`repro.experiments.manifest`) —
+backed by the content-addressed result cache in
+:mod:`repro.experiments.cache`; :mod:`repro.experiments.parallel` keeps
+the spec-resolution layer and the strict ``run_cells`` wrapper.  Figure
+artifacts (Vega-Lite + CSV) come from :mod:`repro.experiments.vega`.
 """
 
 from repro.experiments.runner import ExperimentScale, run_design, run_grid
@@ -22,6 +26,27 @@ from repro.experiments.parallel import (
     resolve_cell,
     run_cells,
     run_grid_parallel,
+)
+from repro.experiments.manifest import (
+    ShardManifest,
+    build_manifest,
+    load_manifest,
+    manifest_status,
+    write_manifest,
+)
+from repro.experiments.megagrid import (
+    CellFailure,
+    GridAssemblyError,
+    MegaGridOutcome,
+    MegaGridReport,
+    resume_megagrid,
+    run_megagrid,
+)
+from repro.experiments.vega import (
+    discover_figures,
+    grid_vega_spec,
+    validate_vega_lite,
+    write_figure,
 )
 from repro.experiments import figures
 
@@ -41,4 +66,19 @@ __all__ = [
     "resolve_cell",
     "run_cells",
     "run_grid_parallel",
+    "ShardManifest",
+    "build_manifest",
+    "load_manifest",
+    "manifest_status",
+    "write_manifest",
+    "CellFailure",
+    "GridAssemblyError",
+    "MegaGridOutcome",
+    "MegaGridReport",
+    "resume_megagrid",
+    "run_megagrid",
+    "discover_figures",
+    "grid_vega_spec",
+    "validate_vega_lite",
+    "write_figure",
 ]

@@ -167,6 +167,11 @@ class PayloadCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.cache_dir, key[:2], key + ".json")
 
+    def has(self, key: str) -> bool:
+        """Whether an entry file exists for ``key`` (existence only — a
+        torn entry still reads as a miss through :meth:`get_payload`)."""
+        return os.path.isfile(self._path(key))
+
     def get_payload(self, key: str, decode=None) -> Optional[Any]:
         """The cached payload for ``key``, or None (counted hit/miss)."""
         try:

@@ -19,7 +19,6 @@ Per-cell wall time and cache hit/miss counters land in the returned
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -30,7 +29,6 @@ from repro.experiments.serialize import (
     config_to_dict,
     params_from_dict,
     params_to_dict,
-    run_result_from_dict,
     run_result_to_dict,
     stable_hash,
 )
@@ -91,7 +89,13 @@ def resolve_cell(
     n_transactions: Optional[int] = None,
     n_threads: Optional[int] = None,
 ) -> CellSpec:
-    """Resolve run_design-style arguments into an explicit CellSpec."""
+    """Resolve run_design-style arguments into an explicit CellSpec.
+
+    Explicit ``n_transactions``/``n_threads`` must be positive: an
+    explicit zero is a caller error, not a request for the scale default
+    (the ``or``-coercion family of bugs — see ``System.run``'s identical
+    ``n_threads=0`` fix).
+    """
     from repro.experiments.runner import (
         ExperimentScale,
         MACRO_NAMES,
@@ -100,6 +104,16 @@ def resolve_cell(
         resolve_params,
     )
 
+    if n_transactions is not None and n_transactions <= 0:
+        raise ValueError(
+            "n_transactions must be positive, got %r (omit it or pass None"
+            " for the scale default)" % (n_transactions,)
+        )
+    if n_threads is not None and n_threads <= 0:
+        raise ValueError(
+            "n_threads must be positive, got %r (omit it or pass None for"
+            " the scale default)" % (n_threads,)
+        )
     scale = scale or ExperimentScale()
     config = config if config is not None else default_config()
     params = resolve_params(params, dataset)
@@ -110,9 +124,44 @@ def resolve_cell(
         dataset=dataset,
         config_dict=config_to_dict(config),
         params_dict=params_to_dict(params),
-        n_transactions=n_transactions or scale.transactions(macro, dataset),
-        n_threads=n_threads or scale.threads(macro),
+        n_transactions=(
+            n_transactions if n_transactions is not None
+            else scale.transactions(macro, dataset)
+        ),
+        n_threads=n_threads if n_threads is not None else scale.threads(macro),
         repro_scale=_scale(),
+    )
+
+
+def spec_to_dict(spec: CellSpec) -> Dict[str, Any]:
+    """Serialize a CellSpec for shard manifests (JSON-safe, lossless)."""
+    return {
+        "design": spec.design,
+        "workload": spec.workload,
+        "dataset": spec.dataset.name,
+        "config_dict": spec.config_dict,
+        "params_dict": spec.params_dict,
+        "n_transactions": spec.n_transactions,
+        "n_threads": spec.n_threads,
+        "repro_scale": spec.repro_scale,
+        "replay_trace_path": spec.replay_trace_path,
+        "trace_digest": spec.trace_digest,
+    }
+
+
+def spec_from_dict(data: Dict[str, Any]) -> CellSpec:
+    """Rebuild a CellSpec from :func:`spec_to_dict` output."""
+    return CellSpec(
+        design=data["design"],
+        workload=data["workload"],
+        dataset=DatasetSize[data["dataset"]],
+        config_dict=data["config_dict"],
+        params_dict=data["params_dict"],
+        n_transactions=int(data["n_transactions"]),
+        n_threads=int(data["n_threads"]),
+        repro_scale=float(data["repro_scale"]),
+        replay_trace_path=data.get("replay_trace_path"),
+        trace_digest=data.get("trace_digest"),
     )
 
 
@@ -180,7 +229,10 @@ def _run_cell_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """
     from repro.experiments.runner import run_design_traced
 
+    from repro.experiments.megagrid import apply_injected_fault
+
     started = time.perf_counter()
+    apply_injected_fault(payload)
     if payload.get("replay_trace_path") is not None:
         return _run_replay_payload(payload, started)
     trace_path = payload.get("trace_path")
@@ -244,6 +296,10 @@ class CellReport:
     ``trace_path`` is the cell's Chrome-trace artifact when trace capture
     was requested and the file exists (a cached cell keeps its path only
     if the artifact is still on disk), else None.
+
+    ``deduped`` marks an index that repeated an earlier spec in the same
+    call: it was served from that cell's single simulation (or cache
+    entry), never re-simulated, and reports as a hit.
     """
 
     design: str
@@ -253,6 +309,7 @@ class CellReport:
     seconds: float
     key: str
     trace_path: Optional[str] = None
+    deduped: bool = False
 
 
 @dataclass
@@ -310,64 +367,38 @@ def run_cells(
 ) -> Tuple[List[RunResult], GridReport]:
     """Execute cells (cache-first, then pool) preserving input order.
 
+    Delegates to the mega-grid engine (:mod:`repro.experiments.megagrid`)
+    in fail-fast mode: every returned result aligns with its input spec,
+    duplicate specs are simulated exactly once (later indices fan out
+    from the first — see ``CellReport.deduped``), completed cells stream
+    into the cache as they finish, and a failing cell raises instead of
+    silently shifting later results onto the wrong specs.
+
     ``trace_dir`` opts into trace capture: every simulated cell also
     writes ``<trace_dir>/<key>.trace.json``.  Cached cells are not
     re-simulated — their report records the artifact path only if a
     previous traced run left it on disk.
     """
-    jobs = jobs or default_jobs()
-    report = GridReport(jobs=jobs)
-    started = time.perf_counter()
-    if trace_dir is not None:
-        os.makedirs(trace_dir, exist_ok=True)
+    from repro.experiments.megagrid import GridAssemblyError, run_megagrid
 
-    results: List[Optional[RunResult]] = [None] * len(specs)
-    reports: List[Optional[CellReport]] = [None] * len(specs)
-    to_run: List[int] = []
-    for i, spec in enumerate(specs):
-        key = spec.key()
-        cached = cache.get(key) if cache is not None else None
-        if cached is not None:
-            results[i] = cached
-            trace_path = _trace_path(trace_dir, spec)
-            if trace_path is not None and not os.path.exists(trace_path):
-                trace_path = None
-            reports[i] = CellReport(
-                spec.design, spec.workload, spec.dataset.name, True, 0.0, key,
-                trace_path=trace_path,
-            )
-        else:
-            to_run.append(i)
-
-    if to_run:
-        payloads = [
-            _payload(specs[i], _trace_path(trace_dir, specs[i])) for i in to_run
-        ]
-        if jobs <= 1 or len(to_run) == 1:
-            outputs = [_run_cell_payload(p) for p in payloads]
-        else:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(to_run))) as pool:
-                outputs = list(pool.map(_run_cell_payload, payloads))
-        for i, output in zip(to_run, outputs):
-            spec = specs[i]
-            key = spec.key()
-            result = run_result_from_dict(output["result"])
-            results[i] = result
-            reports[i] = CellReport(
-                spec.design,
-                spec.workload,
-                spec.dataset.name,
-                False,
-                output["seconds"],
-                key,
-                trace_path=output.get("trace_path"),
-            )
-            if cache is not None:
-                cache.put(key, result, key_fields=spec.key_fields())
-
-    report.cells = [r for r in reports if r is not None]
-    report.wall_seconds = time.perf_counter() - started
-    return [r for r in results if r is not None], report
+    outcome = run_megagrid(
+        list(specs),
+        jobs=jobs,
+        cache=cache,
+        trace_dir=trace_dir,
+        retries=0,
+        timeout_s=None,
+        fail_soft=False,
+    )
+    missing = [i for i, r in enumerate(outcome.results) if r is None]
+    if missing:
+        # Unreachable in fail-fast mode (the engine raises first); kept
+        # so a dropped cell can never corrupt positional assembly.
+        raise GridAssemblyError(
+            "run_cells: %d cell(s) absent at indices %s"
+            % (len(missing), missing)
+        )
+    return list(outcome.results), outcome.report
 
 
 def run_grid_parallel(

@@ -1,0 +1,214 @@
+"""Vega-Lite + CSV figure artifacts for grid sweeps.
+
+The benchmark harness historically emitted fixed-width ``.txt`` tables
+only — fine for eyeballing a terminal, useless for a browsable results
+dashboard.  This module turns the same ``{workload: {design: value}}``
+grids the table renderer consumes into two portable artifacts per
+figure:
+
+- ``<name>.vl.json`` — a self-contained Vega-Lite v5 grouped-bar spec
+  with the data inlined (``data.values``), so any Vega-Lite viewer (or
+  the online editor) renders it with zero extra files;
+- ``<name>.csv`` — the same rows as plain CSV for spreadsheets/pandas.
+
+No plotting dependency is required or allowed here: the spec is plain
+JSON we assemble by hand, and :func:`validate_vega_lite` is a minimal
+structural check (schema URL, inline data, mark, encodings referencing
+real columns) that tests and the CI smoke job run against every emitted
+spec.
+"""
+
+import csv
+import io
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Mapping, NamedTuple, Optional
+
+#: The one schema this repo emits; bump deliberately.
+VEGA_LITE_SCHEMA = "https://vega.github.io/schema/vega-lite/v5.json"
+
+
+class FigureError(ValueError):
+    """An emitted figure spec failed structural validation."""
+
+
+class FigurePaths(NamedTuple):
+    vl_path: str
+    csv_path: str
+
+
+def grid_rows(values: Mapping[str, Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Flatten ``{workload: {design: value}}`` into long-form rows.
+
+    Row order is workload-outer / design-inner in the mapping's own
+    iteration order, so the artifact is deterministic for a given grid.
+    ``None`` cells (failed/missing) are skipped — absence in the data is
+    honest; a zero would be a lie.
+    """
+    rows: List[Dict[str, Any]] = []
+    for workload, per_design in values.items():
+        for design, value in per_design.items():
+            if value is None:
+                continue
+            rows.append(
+                {"workload": workload, "design": design, "value": value}
+            )
+    return rows
+
+
+def grid_vega_spec(
+    values: Mapping[str, Mapping[str, Any]],
+    title: str,
+    metric: str,
+) -> Dict[str, Any]:
+    """Grouped-bar Vega-Lite spec for one grid metric.
+
+    x = workload (groups), xOffset = design (bars within a group),
+    y = the metric value, color = design; the conventional layout for
+    the paper's per-workload design comparisons (Fig. 12/13 style).
+    """
+    return {
+        "$schema": VEGA_LITE_SCHEMA,
+        "title": title,
+        "data": {"values": grid_rows(values)},
+        "mark": {"type": "bar"},
+        "encoding": {
+            "x": {"field": "workload", "type": "nominal", "title": "workload"},
+            "xOffset": {"field": "design"},
+            "y": {
+                "field": "value",
+                "type": "quantitative",
+                "title": metric,
+            },
+            "color": {"field": "design", "type": "nominal"},
+        },
+    }
+
+
+def csv_text(rows: List[Dict[str, Any]]) -> str:
+    """Long-form rows as CSV text (header row first, ``\\n`` newlines)."""
+    if not rows:
+        return "workload,design,value\n"
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=list(rows[0].keys()), lineterminator="\n"
+    )
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def validate_vega_lite(spec: Dict[str, Any]) -> int:
+    """Structurally validate an emitted spec; returns the data row count.
+
+    Not a full Vega-Lite schema check (no dependency allowed) — it
+    verifies the contract this repo relies on: a vega-lite ``$schema``
+    URL, non-empty inline ``data.values`` of flat dicts, a mark, and
+    every encoding channel's ``field`` naming a real data column.
+    Raises :class:`FigureError` with a pointed message otherwise.
+    """
+    if not isinstance(spec, dict):
+        raise FigureError("spec must be a JSON object, got %s" % type(spec))
+    schema = spec.get("$schema", "")
+    if "vega-lite" not in schema:
+        raise FigureError("$schema %r is not a vega-lite schema URL" % schema)
+    data = spec.get("data")
+    if not isinstance(data, dict) or not isinstance(data.get("values"), list):
+        raise FigureError("data.values must be an inline list of rows")
+    rows = data["values"]
+    if not rows:
+        raise FigureError("data.values is empty — figure would be blank")
+    columns = set()
+    for index, row in enumerate(rows):
+        if not isinstance(row, dict):
+            raise FigureError("data.values[%d] is not an object" % index)
+        columns.update(row.keys())
+    if "mark" not in spec:
+        raise FigureError("spec has no mark")
+    encoding = spec.get("encoding")
+    if not isinstance(encoding, dict) or not encoding:
+        raise FigureError("spec has no encoding channels")
+    for channel, definition in encoding.items():
+        if not isinstance(definition, dict):
+            raise FigureError("encoding.%s is not an object" % channel)
+        fieldname = definition.get("field")
+        if fieldname is not None and fieldname not in columns:
+            raise FigureError(
+                "encoding.%s references field %r which is not a data column"
+                " (have: %s)" % (channel, fieldname, sorted(columns))
+            )
+    return len(rows)
+
+
+def _write_atomic(path: str, text: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(prefix=".fig-", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def write_figure(
+    out_dir: str,
+    name: str,
+    values: Mapping[str, Mapping[str, Any]],
+    title: str,
+    metric: str,
+) -> FigurePaths:
+    """Emit ``<name>.vl.json`` + ``<name>.csv`` for one grid metric.
+
+    The spec is validated before anything touches disk, so a malformed
+    figure can never land in ``benchmarks/results``.
+    """
+    spec = grid_vega_spec(values, title, metric)
+    validate_vega_lite(spec)
+    vl_path = os.path.join(out_dir, name + ".vl.json")
+    csv_path = os.path.join(out_dir, name + ".csv")
+    _write_atomic(vl_path, json.dumps(spec, indent=1, sort_keys=True) + "\n")
+    _write_atomic(csv_path, csv_text(grid_rows(values)))
+    return FigurePaths(vl_path=vl_path, csv_path=csv_path)
+
+
+def discover_figures(directory: str) -> List[Dict[str, Optional[str]]]:
+    """Figure artifacts in ``directory``, for the report dashboard.
+
+    Returns ``[{"name", "vl_path", "csv_path", "title", "rows"}]``
+    sorted by name; a spec that fails to parse is listed with
+    ``rows=None`` rather than hidden, so the dashboard shows the damage.
+    """
+    if not os.path.isdir(directory):
+        return []
+    figures: List[Dict[str, Optional[str]]] = []
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".vl.json"):
+            continue
+        name = filename[: -len(".vl.json")]
+        vl_path = os.path.join(directory, filename)
+        csv_path = os.path.join(directory, name + ".csv")
+        title: Optional[str] = None
+        rows: Optional[int] = None
+        try:
+            with open(vl_path) as handle:
+                spec = json.load(handle)
+            rows = validate_vega_lite(spec)
+            raw_title = spec.get("title")
+            title = raw_title if isinstance(raw_title, str) else None
+        except (OSError, ValueError):
+            rows = None
+        figures.append({
+            "name": name,
+            "vl_path": vl_path,
+            "csv_path": csv_path if os.path.isfile(csv_path) else None,
+            "title": title,
+            "rows": rows,
+        })
+    return figures

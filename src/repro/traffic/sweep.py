@@ -15,7 +15,6 @@ observatory.
 """
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -84,9 +83,11 @@ def resolve_traffic_cell(
 
 def _run_traffic_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Worker entry point (module-level so it pickles everywhere)."""
+    from repro.experiments.megagrid import apply_injected_fault
     from repro.experiments.serialize import config_from_dict
 
     started = time.perf_counter()
+    apply_injected_fault(payload)
     result = run_traffic(
         payload["design"],
         traffic_config_from_dict(payload["traffic_dict"]),
@@ -110,49 +111,93 @@ def run_traffic_cells(
     specs: List[TrafficCellSpec],
     jobs: Optional[int] = None,
     cache: Optional[PayloadCache] = None,
-) -> Tuple[List[TrafficResult], GridReport]:
-    """Execute traffic cells (cache-first, then pool) in input order."""
+    retries: int = 0,
+    timeout_s: Optional[float] = None,
+    fail_soft: bool = False,
+) -> Tuple[List[TrafficResult], "MegaGridReport"]:
+    """Execute traffic cells on the mega-grid engine, in input order.
+
+    Per-future submission (not one batch ``pool.map``): each result
+    streams into the cache the moment its future resolves, duplicate
+    specs are simulated once and fanned out, and with ``fail_soft=True``
+    a crashing cell becomes a typed entry in ``report.failures`` while
+    every other cell completes.  The default stays fail-fast — load
+    sweeps index into the flat result list positionally, so an absent
+    cell raises :class:`~repro.experiments.megagrid.GridAssemblyError`
+    instead of silently shifting every later position.
+    """
+    from repro.experiments.megagrid import (
+        ExecutionPolicy,
+        GridAssemblyError,
+        MegaGridReport,
+        execute_payloads,
+    )
+
     jobs = jobs or default_jobs()
-    report = GridReport(jobs=jobs)
+    report = MegaGridReport(jobs=jobs)
     started = time.perf_counter()
+
+    keys = [spec.key() for spec in specs]
+    order: Dict[str, List[int]] = {}
+    for i, key in enumerate(keys):
+        order.setdefault(key, []).append(i)
 
     results: List[Optional[TrafficResult]] = [None] * len(specs)
     reports: List[Optional[CellReport]] = [None] * len(specs)
-    to_run: List[int] = []
-    for i, spec in enumerate(specs):
-        key = spec.key()
+    to_run: List[str] = []
+    for key, indices in order.items():
+        spec = specs[indices[0]]
         cached = (
             cache.get_payload(key, decode=traffic_result_from_dict)
             if cache is not None else None
         )
-        if cached is not None:
+        if cached is None:
+            to_run.append(key)
+            continue
+        for position, i in enumerate(indices):
             results[i] = cached
             reports[i] = CellReport(
-                spec.design, "mix", "traffic", True, 0.0, key)
-        else:
-            to_run.append(i)
+                spec.design, "mix", "traffic", True, 0.0, key,
+                deduped=position > 0)
 
-    if to_run:
-        payloads = [_payload(specs[i]) for i in to_run]
-        if jobs <= 1 or len(to_run) == 1:
-            outputs = [_run_traffic_payload(p) for p in payloads]
-        else:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(to_run))) as pool:
-                outputs = list(pool.map(_run_traffic_payload, payloads))
-        for i, output in zip(to_run, outputs):
-            spec = specs[i]
-            key = spec.key()
-            result = traffic_result_from_dict(output["result"])
+    def handle_output(key: str, output: Dict[str, Any], attempts: int) -> None:
+        indices = order[key]
+        spec = specs[indices[0]]
+        result = traffic_result_from_dict(output["result"])
+        if cache is not None:
+            cache.put_payload(
+                key, output["result"], key_fields=spec.key_fields())
+        for position, i in enumerate(indices):
             results[i] = result
             reports[i] = CellReport(
-                spec.design, "mix", "traffic", False, output["seconds"], key)
-            if cache is not None:
-                cache.put_payload(
-                    key, result.to_dict(), key_fields=spec.key_fields())
+                spec.design, "mix", "traffic", position > 0,
+                output["seconds"] if position == 0 else 0.0, key,
+                deduped=position > 0)
+
+    entries = [(key, _payload(specs[order[key][0]])) for key in to_run]
+    _outputs, failure_map = execute_payloads(
+        entries,
+        _run_traffic_payload,
+        ExecutionPolicy(
+            jobs=jobs, retries=retries, timeout_s=timeout_s,
+            fail_soft=fail_soft),
+        describe=lambda key: (specs[order[key][0]].design, "mix", "traffic"),
+        on_output=handle_output,
+    )
 
     report.cells = [r for r in reports if r is not None]
+    report.failures = list(failure_map.values())
     report.wall_seconds = time.perf_counter() - started
-    return [r for r in results if r is not None], report
+    missing = [i for i, r in enumerate(results) if r is None]
+    if missing and not fail_soft:
+        raise GridAssemblyError(
+            "run_traffic_cells: %d cell(s) absent at indices %s"
+            % (len(missing), missing))
+    # Positions are preserved even under fail_soft: a failed cell stays
+    # None at its own index (see report.failures) — compacting here
+    # would silently shift every later cell, the exact bug this engine
+    # exists to kill.
+    return results, report
 
 
 @dataclass

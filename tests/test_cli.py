@@ -55,6 +55,42 @@ def test_grid_command_cold_then_warm(tmp_path, capsys):
     assert "hits=2 misses=0" in warm
 
 
+def test_grid_interrupt_then_resume_cli(tmp_path, capsys):
+    """Kill-and-resume through the CLI: exactly-once across invocations."""
+    manifest = str(tmp_path / "sweep.json")
+    base = ["--transactions", "12", "--threads", "1",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache")]
+    assert main(
+        ["grid", "--designs", "FWB-CRADE,MorLog-SLDE",
+         "--workloads", "hash,queue", "--manifest", manifest,
+         "--interrupt-after", "2"] + base
+    ) == 130
+    out = capsys.readouterr().out
+    assert "resume with: repro grid --resume" in out
+    assert main(["grid", "--resume", manifest] + base) == 0
+    resumed = capsys.readouterr().out
+    assert "2 simulated, 2 cache hits" in resumed
+    assert "[resumed]" in resumed
+    # A second resume is a full warm run: nothing left to simulate.
+    assert main(["grid", "--resume", manifest] + base) == 0
+    assert "0 simulated, 4 cache hits" in capsys.readouterr().out
+
+
+def test_grid_figures_dir_emits_valid_spec(tmp_path, capsys):
+    import json
+
+    from repro.experiments.vega import validate_vega_lite
+
+    figures_dir = str(tmp_path / "figs")
+    assert main(
+        ["grid", "--designs", "FWB-CRADE", "--workloads", "queue",
+         "--transactions", "10", "--threads", "1", "--jobs", "1",
+         "--no-cache", "--figures-dir", figures_dir]
+    ) == 0
+    with open(figures_dir + "/grid_throughput.vl.json") as handle:
+        assert validate_vega_lite(json.load(handle)) == 1
+
+
 def test_grid_command_no_cache(capsys):
     assert main(["grid", "--designs", "FWB-CRADE", "--workloads", "queue",
                  "--transactions", "10", "--threads", "1", "--jobs", "1",

@@ -268,6 +268,60 @@ class TestCachedGrid:
         assert first[0] == again[0]
 
 
+class TestResolveCellValidation:
+    """Explicit non-positive counts are caller errors, never coerced.
+
+    Regression for the ``n_transactions or scale.transactions(...)``
+    family: an explicit 0 silently became the scale default, so the
+    cache key recorded a cell the simulation never ran.
+    """
+
+    def test_explicit_zero_transactions_raises(self):
+        with pytest.raises(ValueError, match="n_transactions"):
+            resolve_cell(
+                "FWB-CRADE", "hash", DatasetSize.SMALL, TINY, n_transactions=0
+            )
+
+    def test_explicit_zero_threads_raises(self):
+        with pytest.raises(ValueError, match="n_threads"):
+            resolve_cell(
+                "FWB-CRADE", "hash", DatasetSize.SMALL, TINY, n_threads=0
+            )
+
+    def test_negative_counts_raise(self):
+        with pytest.raises(ValueError):
+            resolve_cell(
+                "FWB-CRADE", "hash", DatasetSize.SMALL, TINY,
+                n_transactions=-5,
+            )
+        with pytest.raises(ValueError):
+            resolve_cell(
+                "FWB-CRADE", "hash", DatasetSize.SMALL, TINY, n_threads=-1
+            )
+
+    def test_none_still_takes_the_scale_default(self):
+        spec = resolve_cell("FWB-CRADE", "hash", DatasetSize.SMALL, TINY)
+        assert spec.n_transactions == TINY.transactions(False, DatasetSize.SMALL)
+        assert spec.n_threads == TINY.threads(False)
+
+
+class TestRunCellsStrict:
+    """run_cells raises on a failing cell instead of silently dropping.
+
+    Regression for the old ``[r for r in results if r is not None]``
+    tail, which shifted every later result one position left and let
+    ``run_grid_parallel`` unflatten the wrong cells into the grid.
+    """
+
+    def test_worker_failure_raises_typed_error(self):
+        from repro.experiments.megagrid import CellExecutionError
+
+        good = resolve_cell("FWB-CRADE", "hash", DatasetSize.SMALL, TINY)
+        bad = dataclasses.replace(good, workload="no-such-workload")
+        with pytest.raises(CellExecutionError):
+            run_cells([good, bad], jobs=1)
+
+
 class TestEngineShape:
     def test_default_jobs_positive(self):
         assert default_jobs() >= 1

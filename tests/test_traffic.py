@@ -419,6 +419,49 @@ class TestSweep:
         assert len({spec_a.key(), spec_b.key(), spec_c.key()}) == 3
         assert spec_a.key_fields()["kind"] == "traffic"
 
+    def test_duplicate_traffic_cells_simulate_once(self, tmp_path):
+        from repro.traffic.sweep import run_traffic_cells
+
+        spec = resolve_traffic_cell(
+            "MorLog-SLDE", fast_traffic(arrivals=60), config=tiny_config())
+        cache = PayloadCache(str(tmp_path / "cache"))
+        results, report = run_traffic_cells(
+            [spec, spec], jobs=2, cache=cache)
+        assert report.simulated_cells == 1
+        assert cache.stats.stores == 1
+        assert results[0].to_dict() == results[1].to_dict()
+
+    def test_failing_traffic_cell_raises_not_drops(self, tmp_path):
+        import dataclasses
+
+        from repro.experiments.megagrid import GridAssemblyError
+        from repro.traffic.sweep import run_traffic_cells
+
+        spec = resolve_traffic_cell(
+            "MorLog-SLDE", fast_traffic(arrivals=60), config=tiny_config())
+        bad = dataclasses.replace(spec, design="no-such-design")
+        with pytest.raises(Exception) as excinfo:
+            run_traffic_cells([spec, bad], jobs=1)
+        # fail-fast surfaces the worker error as a typed engine error.
+        from repro.experiments.megagrid import CellExecutionError
+
+        assert isinstance(excinfo.value, CellExecutionError)
+
+    def test_fail_soft_traffic_keeps_positions(self, tmp_path):
+        import dataclasses
+
+        from repro.traffic.sweep import run_traffic_cells
+
+        good = resolve_traffic_cell(
+            "MorLog-SLDE", fast_traffic(arrivals=60), config=tiny_config())
+        bad = dataclasses.replace(good, design="no-such-design")
+        results, report = run_traffic_cells(
+            [bad, good], jobs=1, fail_soft=True)
+        assert results[0] is None
+        assert results[1] is not None
+        assert len(report.failures) == 1
+        assert report.failures[0].design == "no-such-design"
+
     def test_sweep_records_are_schema_valid(self):
         traffic = fast_traffic(arrivals=60)
         outcome = run_load_sweep(["MorLog-SLDE"], self.LOADS, traffic,
